@@ -1,0 +1,58 @@
+"""Ablation: the UGAL threshold T (Section 2.2).
+
+The paper sets T = 0 ("so the routing schemes do not bias towards MIN or
+VLB paths").  A positive T biases decisions toward MIN, which suppresses
+the low-load VLB noise of single-candidate UGAL-L under uniform traffic
+but delays the switch to VLB under adversarial traffic.
+"""
+
+import dataclasses
+
+from repro.experiments.report import FigureResult, render_table
+from repro.sim import SimParams, simulate
+from repro.topology import Dragonfly
+from repro.traffic import Shift, UniformRandom
+
+
+def run_threshold_ablation() -> FigureResult:
+    topo = Dragonfly(2, 4, 2, 9)
+    base = SimParams(window_cycles=250)
+    rows = []
+    data = {}
+    for t_value in (0, 5, 20):
+        params = dataclasses.replace(base, ugal_threshold=t_value)
+        ur = simulate(topo, UniformRandom(topo), 0.2, routing="ugal-l",
+                      params=params, seed=4)
+        adv = simulate(topo, Shift(topo, 2, 0), 0.3, routing="ugal-l",
+                       params=params, seed=4)
+        rows.append(
+            [t_value, ur.vlb_fraction, ur.avg_latency,
+             adv.vlb_fraction, adv.accepted_rate]
+        )
+        data[t_value] = {
+            "ur_vlb_fraction": ur.vlb_fraction,
+            "adv_accepted": adv.accepted_rate,
+        }
+    return FigureResult(
+        "abl_threshold",
+        "UGAL threshold T ablation (UGAL-L, dfly(2,4,2,9))",
+        render_table(
+            ["T", "UR VLB share", "UR latency", "ADV VLB share",
+             "ADV accepted"],
+            rows,
+        ),
+        data=data,
+    )
+
+
+def test_abl_threshold(benchmark):
+    result = benchmark.pedantic(
+        run_threshold_ablation, rounds=1, iterations=1
+    )
+    print()
+    print(result)
+    d = result.data
+    # larger T biases toward MIN: less VLB under uniform traffic
+    assert d[20]["ur_vlb_fraction"] <= d[0]["ur_vlb_fraction"] + 0.02
+    # adversarial throughput should not collapse at moderate T
+    assert d[20]["adv_accepted"] > 0.5 * d[0]["adv_accepted"]

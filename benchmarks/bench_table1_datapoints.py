@@ -1,0 +1,8 @@
+"""Table 1: the datapoint grid probed in coarse-grain Step 1."""
+
+from conftest import regen
+
+
+def test_table1_datapoints(benchmark):
+    result = regen(benchmark, "table1")
+    assert result.data["count"] == 31

@@ -1,0 +1,12 @@
+"""Table 3: default network parameters used in the simulations."""
+
+from conftest import regen
+
+
+def test_table3_defaults(benchmark):
+    result = regen(benchmark, "table3")
+    params = dict(result.data["params"])
+    assert params["buffer size"] == 32
+    assert params["link latency (local)"] == 10
+    assert params["link latency (global)"] == 15
+    assert params["switch speed-up"] == 2

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table/figure of the paper via
+``repro.experiments.run_figure`` and prints the paper-style rows.
+``pytest-benchmark`` times the run (rounds=1: these are experiment
+regenerations, not micro-benchmarks).
+
+Scaling: set ``REPRO_WINDOW`` (default 300) / ``REPRO_SEEDS`` (default 1)
+to trade time for fidelity; the paper's scale is ``REPRO_WINDOW=10000
+REPRO_SEEDS=8``.
+"""
+
+import pytest
+
+from repro.experiments import run_figure
+
+
+def regen(benchmark, figure: str):
+    """Run one figure under pytest-benchmark and print its text."""
+    result = benchmark.pedantic(
+        run_figure, args=(figure,), rounds=1, iterations=1
+    )
+    print()
+    print(result)
+    return result

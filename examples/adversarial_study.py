@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Adversarial-traffic study: latency curves and saturation throughput.
+
+Reproduces the shape of the paper's Figure 6 (UGAL-L / T-UGAL-L / PAR /
+T-PAR under shift(2,0) on dfly(4,8,4,9)) at reduced simulation windows,
+then prints the saturation throughput of each scheme.
+
+Run:  python examples/adversarial_study.py [--topology p,a,h,g]
+"""
+
+import argparse
+
+from repro.experiments import render_curves, render_table, tvlb_policy_for
+from repro.sim import SimParams, latency_vs_load
+from repro.topology import Dragonfly
+from repro.traffic import Shift
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--topology", default="4,8,4,9",
+        help="comma separated p,a,h,g (default: 4,8,4,9)",
+    )
+    parser.add_argument("--window", type=int, default=300)
+    args = parser.parse_args()
+    p, a, h, g = (int(x) for x in args.topology.split(","))
+
+    topo = Dragonfly(p, a, h, g)
+    pattern = Shift(topo, 2 % topo.g, 0)
+    params = SimParams(window_cycles=args.window)
+    policy = tvlb_policy_for(topo)
+    loads = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4]
+
+    curves = {}
+    sat_rows = []
+    for variant, pol in [
+        ("ugal-l", None),
+        ("t-ugal-l", policy),
+        ("par", None),
+        ("t-par", policy),
+    ]:
+        sweep = latency_vs_load(
+            topo, pattern, loads, routing=variant, policy=pol,
+            params=params, seed=1,
+        )
+        curves[variant.upper()] = [
+            (r.offered_load, round(r.avg_latency, 1))
+            for r in sweep.results
+            if not r.saturated
+        ]
+        sat_rows.append([variant.upper(), sweep.saturation_throughput()])
+
+    print(f"{pattern.describe()} on {topo}\n")
+    print(render_curves("offered load", curves))
+    print("\nsaturation throughput (packets/cycle/node):")
+    print(render_table(["scheme", "throughput"], sat_rows))
+
+
+if __name__ == "__main__":
+    main()

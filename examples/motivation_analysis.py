@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Section-3.1 motivation arithmetic on a real
+topology -- no simulation needed.
+
+The argument: UGAL routes a fraction f of packets minimally (~3 hops) and
+the rest over VLB paths.  Cutting the VLB set's average length directly
+cuts the average hops per packet, i.e. per-packet network load and
+zero-load latency.
+
+Run:  python examples/motivation_analysis.py
+"""
+
+import numpy as np
+
+from repro.routing import (
+    AllVlbPolicy,
+    StrategicFiveHopPolicy,
+    expected_packet_hops,
+    mean_min_hops,
+    vlb_length_distribution,
+)
+from repro.topology import Dragonfly
+from repro.traffic import Shift
+
+
+def main() -> None:
+    topo = Dragonfly(4, 8, 4, 9)
+    demand = Shift(topo, 2, 0).demand_matrix()
+    pairs = [tuple(map(int, p)) for p in zip(*np.nonzero(demand))][:12]
+
+    min_hops = mean_min_hops(topo, pairs)
+    full = vlb_length_distribution(topo, AllVlbPolicy(), pairs)
+    tvlb = vlb_length_distribution(
+        topo, StrategicFiveHopPolicy("2+3"), pairs
+    )
+
+    print(f"topology: {topo}, adversarial shift pairs\n")
+    print(f"mean MIN path length      : {min_hops:.2f} hops")
+    print(f"mean VLB length, all VLB  : {full.mean:.2f} hops "
+          f"({full.count} paths/sample)")
+    print(f"mean VLB length, T-VLB    : {tvlb.mean:.2f} hops "
+          f"({tvlb.count} paths/sample)")
+    print("\nVLB hop histogram (fraction of paths):")
+    for h in range(2, 7):
+        print(f"  {h}-hop: all VLB {full.fraction(h):5.1%}   "
+              f"T-VLB {tvlb.fraction(h):5.1%}")
+
+    print("\naverage hops per packet at different MIN fractions:")
+    print("  f_MIN   UGAL    T-UGAL  reduction")
+    for f in (0.3, 0.5, 0.7):
+        ugal = expected_packet_hops(f, min_hops, full.mean)
+        t = expected_packet_hops(f, min_hops, tvlb.mean)
+        print(f"  {f:.1f}    {ugal:.2f}    {t:.2f}    "
+              f"{ugal / t - 1:.1%}")
+
+    print(
+        "\n(The paper's stylized example -- 3-hop MIN, 6-hop VLB, 70% MIN, "
+        "VLB shortened to 4.8 hops -- gives a ~10% reduction; the real "
+        "dfly(4,8,4,9) numbers above land in the same range.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""repro -- reproduction of "Topology-Custom UGAL Routing on Dragonfly" (SC '19).
+
+Public API re-exports the main entry points of each subsystem:
+
+* :class:`repro.topology.Dragonfly` -- the ``dfly(p,a,h,g)`` topology.
+* :mod:`repro.routing` -- MIN/VLB path computation and path policies.
+* :mod:`repro.traffic` -- synthetic traffic patterns.
+* :mod:`repro.model` -- the LP throughput model (Step-1 coarse grain).
+* :func:`repro.core.compute_tvlb` -- Algorithm 1, the paper's contribution.
+* :mod:`repro.sim` -- the cycle-level network simulator.
+"""
+
+from repro.topology import Dragonfly
+
+__version__ = "1.0.0"
+
+__all__ = ["Dragonfly", "__version__"]

@@ -1,0 +1,304 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``topo``   -- build and validate a topology, print its parameters
+* ``paths``  -- MIN paths and the VLB hop-class histogram of a switch pair
+* ``bounds`` -- closed-form capacity bounds
+* ``model``  -- LP modeled throughput for a pattern and candidate set
+* ``sim``    -- one simulation run at a fixed load
+* ``tvlb``   -- run Algorithm 1 and print the chosen T-VLB
+* ``figure`` -- regenerate one of the paper's tables/figures
+
+Specification mini-languages:
+
+* topology: ``--topology P,A,H,G`` (e.g. ``4,8,4,9``)
+* pattern:  ``ur`` | ``shift:DG[,DS]`` | ``perm[:SEED]`` |
+  ``mixed:UR,ADV`` | ``tmixed:UR,ADV``
+* policy:   ``all`` | ``hopclass:L[,FRAC]`` | ``strategic:2+3|3+2`` |
+  ``@file.json`` (a policy saved by ``tvlb --save``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.topology import Dragonfly, validate_topology
+
+__all__ = ["main", "parse_pattern", "parse_policy", "parse_topology"]
+
+
+def parse_topology(spec: str, arrangement: str = "absolute") -> Dragonfly:
+    try:
+        p, a, h, g = (int(x) for x in spec.split(","))
+    except ValueError:
+        raise SystemExit(
+            f"bad topology spec {spec!r}: expected P,A,H,G (e.g. 4,8,4,9)"
+        )
+    return Dragonfly(p, a, h, g, arrangement=arrangement)
+
+
+def parse_pattern(topo: Dragonfly, spec: str):
+    from repro.traffic import (
+        Mixed,
+        RandomPermutation,
+        Shift,
+        TimeMixed,
+        UniformRandom,
+    )
+
+    name, _, args = spec.partition(":")
+    name = name.lower()
+    if name == "ur":
+        return UniformRandom(topo)
+    if name == "shift":
+        parts = [int(x) for x in args.split(",")] if args else [1]
+        dg = parts[0]
+        ds = parts[1] if len(parts) > 1 else 0
+        return Shift(topo, dg, ds)
+    if name == "perm":
+        return RandomPermutation(topo, seed=int(args) if args else 0)
+    if name in ("mixed", "tmixed"):
+        try:
+            ur, adv = (float(x) for x in args.split(","))
+        except ValueError:
+            raise SystemExit(f"bad pattern spec {spec!r}: need UR,ADV")
+        cls = Mixed if name == "mixed" else TimeMixed
+        return cls(topo, ur, adv)
+    raise SystemExit(
+        f"unknown pattern {spec!r}: use ur | shift:DG[,DS] | perm[:SEED] "
+        f"| mixed:UR,ADV | tmixed:UR,ADV"
+    )
+
+
+def parse_policy(spec: Optional[str]):
+    from repro.routing.pathset import (
+        AllVlbPolicy,
+        HopClassPolicy,
+        StrategicFiveHopPolicy,
+    )
+
+    if spec is None or spec.lower() == "all":
+        return AllVlbPolicy()
+    if spec.startswith("@"):
+        from repro.routing.serialization import load_policy
+
+        return load_policy(spec[1:])
+    name, _, args = spec.partition(":")
+    name = name.lower()
+    if name == "hopclass":
+        parts = args.split(",") if args else []
+        if not parts:
+            raise SystemExit("hopclass needs L[,FRAC], e.g. hopclass:4,0.6")
+        full = int(parts[0])
+        frac = float(parts[1]) if len(parts) > 1 else 0.0
+        return HopClassPolicy(full, frac)
+    if name == "strategic":
+        return StrategicFiveHopPolicy(args or "2+3")
+    raise SystemExit(
+        f"unknown policy {spec!r}: use all | hopclass:L[,FRAC] | "
+        f"strategic:2+3|3+2"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+def _cmd_topo(args) -> int:
+    topo = parse_topology(args.topology, args.arrangement)
+    stats = validate_topology(topo)
+    print(f"{topo} [{args.arrangement}]")
+    for key, value in {**topo.describe(), **stats}.items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_paths(args) -> int:
+    from repro.routing import min_paths, vlb_class_counts
+
+    topo = parse_topology(args.topology, args.arrangement)
+    src, dst = args.src, args.dst
+    print(f"{topo}: switch {src} -> switch {dst}")
+    paths = min_paths(topo, src, dst)
+    print(f"MIN paths ({len(paths)}):")
+    for p in paths:
+        print(f"  {' -> '.join(map(str, p.switches))}  ({p.num_hops} hops)")
+    counts = vlb_class_counts(topo, src, dst)
+    total = sum(counts.values())
+    print(f"VLB paths ({total}):")
+    for hops in sorted(counts):
+        print(f"  {hops}-hop: {counts[hops]}")
+    return 0
+
+
+def _cmd_bounds(args) -> int:
+    from repro.model.bounds import (
+        min_only_shift_bound,
+        optimal_min_fraction,
+        shift_saturation_bound,
+        uniform_random_bound,
+    )
+
+    topo = parse_topology(args.topology, args.arrangement)
+    print(f"{topo} capacity bounds (packets/cycle/node):")
+    print(f"  shift, any MIN/VLB mix : {shift_saturation_bound(topo):.4f}")
+    print(f"  shift, MIN only        : {min_only_shift_bound(topo):.4f}")
+    print(f"  optimal MIN fraction   : {optimal_min_fraction(topo):.4f}")
+    print(f"  uniform random (MIN)   : {uniform_random_bound(topo):.4f}")
+    return 0
+
+
+def _cmd_model(args) -> int:
+    from repro.model import model_throughput
+
+    topo = parse_topology(args.topology, args.arrangement)
+    pattern = parse_pattern(topo, args.pattern)
+    policy = parse_policy(args.policy)
+    res = model_throughput(
+        topo,
+        pattern.demand_matrix(),
+        policy=policy,
+        mode=args.mode,
+        monotonic=not args.no_monotonic,
+        max_descriptors=args.max_descriptors,
+    )
+    print(
+        f"{topo} {pattern.describe()} policy={policy.describe()} "
+        f"mode={args.mode}"
+    )
+    print(f"  modeled throughput : {res.throughput:.4f}")
+    print(f"  MIN fraction       : {res.min_fraction:.4f}")
+    print(f"  demand pairs       : {res.num_pairs}")
+    return 0
+
+
+def _cmd_sim(args) -> int:
+    from repro.sim import SimParams, simulate
+
+    topo = parse_topology(args.topology, args.arrangement)
+    pattern = parse_pattern(topo, args.pattern)
+    policy = (
+        parse_policy(args.policy)
+        if args.routing.startswith("t-") or args.policy
+        else None
+    )
+    params = SimParams(window_cycles=args.window)
+    res = simulate(
+        topo,
+        pattern,
+        args.load,
+        routing=args.routing,
+        policy=policy,
+        params=params,
+        seed=args.seed,
+    )
+    print(f"{topo} {pattern.describe()} {args.routing} load={args.load}")
+    print(f"  avg latency   : {res.avg_latency:.1f} cycles")
+    print(f"  p99 latency   : {res.p99_latency:.1f} cycles")
+    print(f"  accepted rate : {res.accepted_rate:.4f}")
+    print(f"  avg hops      : {res.avg_hops:.2f}")
+    print(f"  VLB fraction  : {res.vlb_fraction:.2%}")
+    print(f"  saturated     : {res.saturated}")
+    return 0
+
+
+def _cmd_tvlb(args) -> int:
+    from repro.core import compute_tvlb
+    from repro.routing.serialization import save_policy
+    from repro.sim import SimParams
+
+    topo = parse_topology(args.topology, args.arrangement)
+    res = compute_tvlb(
+        topo,
+        sim_params=SimParams(window_cycles=args.window),
+        seed=args.seed,
+    )
+    print(f"T-VLB for {topo}: {res.label}")
+    print(f"converged to conventional UGAL: {res.converged_to_ugal}")
+    for cand in res.candidates:
+        print(f"  candidate {cand.label:32s} score={cand.score:.3f}")
+    if args.save:
+        save_policy(res.policy, args.save)
+        print(f"[saved T-VLB policy to {args.save}]")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments import run_figure
+
+    result = run_figure(args.name)
+    print(result)
+    if args.json:
+        result.save(args.json)
+        print(f"\n[saved JSON record to {args.json}]")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Topology-Custom UGAL on Dragonfly (SC '19) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def topo_args(p):
+        p.add_argument("--topology", "-t", default="4,8,4,9",
+                       help="P,A,H,G (default 4,8,4,9)")
+        p.add_argument("--arrangement", default="absolute",
+                       choices=["absolute", "relative", "circulant"])
+
+    p = sub.add_parser("topo", help="build and validate a topology")
+    topo_args(p)
+    p.set_defaults(func=_cmd_topo)
+
+    p = sub.add_parser("paths", help="MIN/VLB paths of a switch pair")
+    topo_args(p)
+    p.add_argument("src", type=int)
+    p.add_argument("dst", type=int)
+    p.set_defaults(func=_cmd_paths)
+
+    p = sub.add_parser("bounds", help="closed-form capacity bounds")
+    topo_args(p)
+    p.set_defaults(func=_cmd_bounds)
+
+    p = sub.add_parser("model", help="LP modeled throughput")
+    topo_args(p)
+    p.add_argument("--pattern", default="shift:1")
+    p.add_argument("--policy", default="all")
+    p.add_argument("--mode", default="free", choices=["free", "uniform"])
+    p.add_argument("--no-monotonic", action="store_true")
+    p.add_argument("--max-descriptors", type=int, default=None)
+    p.set_defaults(func=_cmd_model)
+
+    p = sub.add_parser("sim", help="one simulation run")
+    topo_args(p)
+    p.add_argument("--pattern", default="shift:1")
+    p.add_argument("--routing", default="ugal-l")
+    p.add_argument("--policy", default=None)
+    p.add_argument("--load", type=float, default=0.1)
+    p.add_argument("--window", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_sim)
+
+    p = sub.add_parser("tvlb", help="run Algorithm 1")
+    topo_args(p)
+    p.add_argument("--window", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--save", default=None,
+                   help="write the chosen policy to this JSON file")
+    p.set_defaults(func=_cmd_tvlb)
+
+    p = sub.add_parser("figure", help="regenerate a paper table/figure")
+    p.add_argument("name", help="e.g. table2, fig06")
+    p.add_argument("--json", default=None,
+                   help="also save a JSON record to this path")
+    p.set_defaults(func=_cmd_figure)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

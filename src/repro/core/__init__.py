@@ -1,0 +1,35 @@
+"""T-UGAL core: Algorithm 1, the paper's contribution.
+
+``compute_tvlb`` runs the full two-step procedure -- Step-1 coarse-grain LP
+sweep over the Table-1 grid, Step-2 strategic expansion, load-balance
+analysis/adjustment, and simulation-based final selection -- and returns the
+winning :class:`~repro.routing.pathset.PathPolicy` (the T-VLB set) for a
+given topology.
+"""
+
+from repro.core.datapoints import datapoint_label, table1_datapoints
+from repro.core.balance import (
+    BalanceReport,
+    balance_adjust,
+    global_usage_probability,
+    pair_usage_probability,
+)
+from repro.core.algorithm import (
+    TvlbResult,
+    compute_tvlb,
+    model_evaluator,
+    simulation_evaluator,
+)
+
+__all__ = [
+    "table1_datapoints",
+    "datapoint_label",
+    "BalanceReport",
+    "pair_usage_probability",
+    "global_usage_probability",
+    "balance_adjust",
+    "compute_tvlb",
+    "TvlbResult",
+    "simulation_evaluator",
+    "model_evaluator",
+]

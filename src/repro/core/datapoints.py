@@ -1,0 +1,44 @@
+"""The Step-1 datapoint grid (Table 1 of the paper).
+
+Each datapoint is "all VLB paths of <= L hops plus q% of the (L+1)-hop
+paths", represented directly as a :class:`HopClassPolicy`.  The full grid is
+``3-hop, 10% 4-hop, .., 90% 4-hop, 4-hop, .., 90% 6-hop, all VLB``
+(31 points at 10% steps); a coarser ``step`` shrinks sweeps for quick runs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.routing.pathset import HopClassPolicy
+
+__all__ = ["table1_datapoints", "datapoint_label"]
+
+
+def datapoint_label(policy: HopClassPolicy) -> str:
+    """The Table-1 name of a datapoint (delegates to the policy)."""
+    return policy.describe()
+
+
+def table1_datapoints(
+    step: float = 0.1, seed: int = 0
+) -> List[HopClassPolicy]:
+    """The Table-1 grid as policies, in increasing-set order.
+
+    ``step`` controls the percentage granularity of partial classes
+    (0.1 reproduces Table 1 exactly; e.g. 0.25 probes 25/50/75%).
+    """
+    if not 0.0 < step <= 1.0:
+        raise ValueError("step must be in (0, 1]")
+    points: List[HopClassPolicy] = []
+    fractions = []
+    f = step
+    while f < 1.0 - 1e-9:
+        fractions.append(round(f, 10))
+        f += step
+    for full in (3, 4, 5):
+        points.append(HopClassPolicy(full, 0.0, seed=seed))
+        for frac in fractions:
+            points.append(HopClassPolicy(full, frac, seed=seed))
+    points.append(HopClassPolicy(6, 0.0, seed=seed))  # all VLB
+    return points

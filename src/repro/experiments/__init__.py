@@ -1,0 +1,24 @@
+"""Experiment runners: one function per table/figure of the paper.
+
+Each runner returns a :class:`FigureResult` whose ``text`` renders the
+paper-style rows/series; the benchmark harness under ``benchmarks/`` calls
+these and ``EXPERIMENTS.md`` records paper-vs-measured values.
+
+Scaling knobs (environment variables, read at call time):
+
+* ``REPRO_WINDOW``  -- simulation window cycles (default 300; paper 10000)
+* ``REPRO_SEEDS``   -- seeds averaged per point (default 1; paper 8-20)
+* ``REPRO_WINDOW_LARGE`` -- window for the 9126-node topology (default 120)
+"""
+
+from repro.experiments.report import FigureResult, render_curves, render_table
+from repro.experiments.figures import FIGURES, run_figure, tvlb_policy_for
+
+__all__ = [
+    "FigureResult",
+    "render_table",
+    "render_curves",
+    "FIGURES",
+    "run_figure",
+    "tvlb_policy_for",
+]

@@ -1,0 +1,103 @@
+"""Plain-text rendering of experiment results (tables and curve series)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["FigureResult", "render_table", "render_curves"]
+
+
+def _jsonable(obj):
+    """Best-effort conversion of result data to JSON-clean types."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if hasattr(obj, "item"):  # numpy scalar
+        return obj.item()
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+@dataclass
+class FigureResult:
+    """One reproduced table/figure: an id, a caption, text, and raw data."""
+
+    figure: str  # e.g. "fig06"
+    title: str
+    text: str
+    data: Dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"== {self.figure}: {self.title} ==\n{self.text}"
+
+    def to_json(self) -> str:
+        """Serialized figure/title/data (text omitted; it is derived)."""
+        return json.dumps(
+            {
+                "figure": self.figure,
+                "title": self.title,
+                "data": _jsonable(self.data),
+            },
+            indent=2,
+        )
+
+    def save(self, path: str) -> None:
+        """Write the JSON record to ``path``."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence], floatfmt: str = ".4g"
+) -> str:
+    """Fixed-width text table."""
+
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return format(cell, floatfmt)
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in text_rows))
+        if text_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_curves(
+    xlabel: str,
+    curves: Dict[str, List[Tuple[float, float]]],
+    ylabel: str = "latency (cycles)",
+) -> str:
+    """Render several (x, y) series as one aligned table.
+
+    Missing x-values in a series (e.g. past its saturation point) render
+    as ``-``.
+    """
+    xs = sorted({x for series in curves.values() for x, _ in series})
+    headers = [xlabel] + list(curves)
+    rows = []
+    lookup = {
+        label: {x: y for x, y in series} for label, series in curves.items()
+    }
+    for x in xs:
+        row = [x]
+        for label in curves:
+            y = lookup[label].get(x)
+            row.append("-" if y is None else y)
+        rows.append(row)
+    table = render_table(headers, rows)
+    return f"{ylabel} vs {xlabel}\n{table}"

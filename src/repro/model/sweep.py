@@ -1,0 +1,85 @@
+"""Step-1 coarse-grain sweep: modeled throughput over the Table-1 grid.
+
+For every datapoint the LP model is solved for every pattern in the
+adversarial suite and the mean (with standard error) is recorded -- the
+data behind Figures 4 and 5 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.model.lp_model import model_throughput
+from repro.model.pathstats import PathStatsCache
+from repro.routing.pathset import HopClassPolicy
+from repro.topology.dragonfly import Dragonfly
+from repro.traffic.patterns import TrafficPattern
+
+__all__ = ["SweepPoint", "step1_sweep", "best_point", "candidate_vicinity"]
+
+
+@dataclass
+class SweepPoint:
+    """Mean modeled throughput of one datapoint over the pattern suite."""
+
+    policy: HopClassPolicy
+    label: str
+    mean_throughput: float
+    sem: float
+    per_pattern: List[float]
+
+
+def step1_sweep(
+    topo: Dragonfly,
+    patterns: Sequence[TrafficPattern],
+    datapoints: Sequence[HopClassPolicy],
+    *,
+    cache: Optional[PathStatsCache] = None,
+    max_descriptors: Optional[int] = None,
+    mode: str = "uniform",
+) -> List[SweepPoint]:
+    """Model every (datapoint, pattern) combination; one row per datapoint."""
+    if cache is None:
+        cache = PathStatsCache(topo, max_descriptors=max_descriptors)
+    demands = [pat.demand_matrix() for pat in patterns]
+    points: List[SweepPoint] = []
+    for policy in datapoints:
+        values = [
+            model_throughput(
+                topo, demand, policy=policy, cache=cache, mode=mode
+            ).throughput
+            for demand in demands
+        ]
+        arr = np.asarray(values)
+        sem = (
+            float(arr.std(ddof=1) / np.sqrt(len(arr)))
+            if len(arr) > 1
+            else 0.0
+        )
+        points.append(
+            SweepPoint(
+                policy=policy,
+                label=policy.describe(),
+                mean_throughput=float(arr.mean()),
+                sem=sem,
+                per_pattern=values,
+            )
+        )
+    return points
+
+
+def best_point(points: Sequence[SweepPoint]) -> SweepPoint:
+    """The datapoint with the highest mean modeled throughput."""
+    return max(points, key=lambda pt: pt.mean_throughput)
+
+
+def candidate_vicinity(
+    points: Sequence[SweepPoint], rel_tol: float = 0.02
+) -> List[SweepPoint]:
+    """Datapoints within ``rel_tol`` of the best mean -- Step 2's candidates."""
+    best = best_point(points)
+    floor = best.mean_throughput * (1.0 - rel_tol)
+    return [pt for pt in points if pt.mean_throughput >= floor]

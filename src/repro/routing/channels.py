@@ -1,0 +1,49 @@
+"""Dense indexing of every directed switch-to-switch channel.
+
+Used by the LP model and the load-balance analysis to accumulate per-channel
+loads in flat numpy arrays.  Local channels come first (per group, all
+ordered switch pairs), then global channels (each :class:`GlobalLink` in
+both directions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.routing.paths import Channel
+from repro.topology.dragonfly import Dragonfly
+
+__all__ = ["ChannelIndex"]
+
+
+class ChannelIndex:
+    """Bijection between :class:`Channel` objects and ``0..n_channels-1``."""
+
+    def __init__(self, topo: Dragonfly) -> None:
+        self.topo = topo
+        self._channels: List[Channel] = []
+        self._index: Dict[Channel, int] = {}
+        for u in range(topo.num_switches):
+            for v in topo.local_neighbors(u):
+                self._add(Channel(u, v))
+        self.num_local = len(self._channels)
+        for link in topo.global_links:
+            self._add(Channel(link.switch_a, link.switch_b, link.slot))
+            self._add(Channel(link.switch_b, link.switch_a, link.slot))
+        self.num_global = 2 * len(topo.global_links)
+
+    def _add(self, ch: Channel) -> None:
+        self._index[ch] = len(self._channels)
+        self._channels.append(ch)
+
+    def __len__(self) -> int:
+        return len(self._channels)
+
+    def index(self, ch: Channel) -> int:
+        return self._index[ch]
+
+    def channel(self, idx: int) -> Channel:
+        return self._channels[idx]
+
+    def is_global(self, idx: int) -> bool:
+        return self._channels[idx].is_global

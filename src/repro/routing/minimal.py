@@ -1,0 +1,84 @@
+"""Minimal (MIN) path computation.
+
+On a dragonfly with fully connected groups, a MIN path from switch ``u`` to
+switch ``v``:
+
+* is empty when ``u == v``;
+* is the single local hop when they share a group;
+* otherwise takes (up to) one local hop to the switch in ``u``'s group
+  holding a global link to ``v``'s group, the global hop, and (up to) one
+  local hop to ``v`` -- one canonical MIN path *per global link* between the
+  two groups, 1 to 3 hops long.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.routing.paths import LOCAL_SLOT, Path
+from repro.topology.dragonfly import Dragonfly, GlobalLink
+
+__all__ = ["min_paths", "min_path_via", "min_hops_via"]
+
+
+def _extend_local(topo, switches: list, slots: list, target: int) -> None:
+    """Append the canonical intra-group route from ``switches[-1]`` to
+    ``target`` (possibly multi-hop on sparse intra-group topologies)."""
+    here = switches[-1]
+    if here == target:
+        return
+    for mid in topo.local_route(here, target):
+        switches.append(mid)
+        slots.append(LOCAL_SLOT)
+    switches.append(target)
+    slots.append(LOCAL_SLOT)
+
+
+def min_path_via(topo: Dragonfly, src: int, dst: int, link: GlobalLink) -> Path:
+    """The canonical MIN path from ``src`` to ``dst`` using global ``link``.
+
+    ``link`` must join ``src``'s and ``dst``'s groups (which must differ).
+    Local segments follow the topology's canonical intra-group route (one
+    hop on fully connected groups, dimension-ordered on Cascade grids).
+    """
+    gs, gd = topo.group_of(src), topo.group_of(dst)
+    x = link.endpoint_in(gs)
+    y = link.endpoint_in(gd)
+    switches = [src]
+    slots: list = []
+    _extend_local(topo, switches, slots, x)
+    switches.append(y)
+    slots.append(link.slot)
+    _extend_local(topo, switches, slots, dst)
+    return Path(tuple(switches), tuple(slots))
+
+
+def min_hops_via(topo: Dragonfly, src: int, dst: int, link: GlobalLink) -> int:
+    """Hop count of :func:`min_path_via` without building the path."""
+    gs, gd = topo.group_of(src), topo.group_of(dst)
+    return (
+        topo.local_hops(src, link.endpoint_in(gs))
+        + 1
+        + topo.local_hops(link.endpoint_in(gd), dst)
+    )
+
+
+def min_paths(topo: Dragonfly, src: int, dst: int) -> List[Path]:
+    """All MIN paths from ``src`` to ``dst`` (switch ids).
+
+    Returns one zero-hop path if ``src == dst``, the single local-hop path
+    if they share a group, else one path per global link between the groups
+    (in link slot order).
+    """
+    if src == dst:
+        return [Path((src,), ())]
+    gs, gd = topo.group_of(src), topo.group_of(dst)
+    if gs == gd:
+        switches = [src]
+        slots: list = []
+        _extend_local(topo, switches, slots, dst)
+        return [Path(tuple(switches), tuple(slots))]
+    return [
+        min_path_via(topo, src, dst, link)
+        for link in topo.links_between_groups(gs, gd)
+    ]

@@ -1,0 +1,34 @@
+"""Cycle-level dragonfly network simulator (the BookSim substitute).
+
+Public entry points:
+
+* :func:`repro.sim.simulate` -- one run at a fixed offered load;
+* :func:`repro.sim.latency_vs_load` -- a latency curve;
+* :func:`repro.sim.saturation_throughput` -- bisection for the paper's
+  saturation metric;
+* :class:`repro.sim.SimParams` -- Table-3 configuration
+  (``SimParams.paper()`` for the full-scale windows).
+"""
+
+from repro.sim.engine import build_network, simulate
+from repro.sim.params import SimParams
+from repro.sim.replication import Replicated, replicate, replicated_curve
+from repro.sim.stats import SimResult
+from repro.sim.sweep import (
+    LoadSweep,
+    latency_vs_load,
+    saturation_throughput,
+)
+
+__all__ = [
+    "simulate",
+    "build_network",
+    "SimParams",
+    "SimResult",
+    "LoadSweep",
+    "latency_vs_load",
+    "saturation_throughput",
+    "Replicated",
+    "replicate",
+    "replicated_curve",
+]

@@ -1,0 +1,430 @@
+"""The cycle-level network: channels, routers, and the per-cycle engine.
+
+Model (a deliberately simplified BookSim-style input-queued router):
+
+* every directed switch-to-switch link is a :class:`SimChannel` with an
+  upstream **output queue** (drained at 1 flit/cycle onto the wire) and a
+  downstream per-VC **input buffer** governed by credit-based flow control
+  (credits returned with wire latency, as in BookSim);
+* each router moves flits from input buffers to output queues through a
+  crossbar that can accept/emit up to ``speedup`` flits per port per cycle
+  (the paper's "switch speed-up" that relieves head-of-line blocking);
+* terminal (injection/ejection) ports are channels too: the node's source
+  queue is unbounded, ejection always sinks.
+
+Packets are source-routed: the UGAL decision (see ``repro.sim.routing``)
+fixes the channel/VC sequence at injection, except that PAR may rewrite the
+remaining route once when the packet reaches the second switch of its
+source group.
+
+Per-cycle phases: (1) wire deliveries + credit returns, (2) crossbar
+(switch allocation + traversal), (3) wire transmission from output queues,
+(4) injection.  Only active elements are touched, so cost scales with
+in-flight flits rather than network size.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.routing.paths import LOCAL_SLOT, Path
+from repro.sim.packet import Packet
+from repro.sim.params import SimParams
+from repro.topology.dragonfly import Dragonfly
+
+__all__ = ["SimChannel", "Router", "Network"]
+
+
+class SimChannel:
+    """A directed channel plus its upstream output queue and credits."""
+
+    __slots__ = (
+        "src_router",
+        "dst_router",
+        "dst_port",
+        "latency",
+        "is_global_link",
+        "is_ejection",
+        "out_queue",
+        "out_capacity",
+        "credits",
+        "buffer_size",
+        "flits_sent",
+        "busy_until",
+    )
+
+    def __init__(
+        self,
+        src_router: Optional[int],
+        dst_router: Optional[int],
+        dst_port: int,
+        latency: int,
+        num_vcs: int,
+        buffer_size: int,
+        out_capacity: int,
+        is_global_link: bool = False,
+        is_ejection: bool = False,
+    ) -> None:
+        self.src_router = src_router
+        self.dst_router = dst_router
+        self.dst_port = dst_port
+        self.latency = latency
+        self.is_global_link = is_global_link
+        self.is_ejection = is_ejection
+        self.out_queue: deque = deque()
+        self.out_capacity = out_capacity
+        self.credits = [buffer_size] * num_vcs
+        self.buffer_size = buffer_size
+        self.flits_sent = 0  # measurement-window traversals (engine-reset)
+        self.busy_until = 0  # wire occupied until this cycle (multi-flit)
+
+    def load_metric(self) -> int:
+        """Locally known congestion of this channel: flits queued at the
+        output plus downstream buffer slots currently committed (credits
+        spent).  This is what UGAL-L reads for its first hop and UGAL-G
+        sums along the whole path."""
+        committed = self.buffer_size * len(self.credits) - sum(self.credits)
+        return len(self.out_queue) + committed
+
+
+class Router:
+    """Per-router input buffers and round-robin crossbar state."""
+
+    __slots__ = ("idx", "num_ports", "num_vcs", "queues", "active", "rr")
+
+    def __init__(self, idx: int, num_ports: int, num_vcs: int) -> None:
+        self.idx = idx
+        self.num_ports = num_ports
+        self.num_vcs = num_vcs
+        # input buffer per (port, vc), flattened
+        self.queues: List[deque] = [
+            deque() for _ in range(num_ports * num_vcs)
+        ]
+        self.active: set = set()  # flat (port, vc) indices with flits
+        self.rr = 0  # rotating arbitration priority
+
+    def slot(self, port: int, vc: int) -> int:
+        return port * self.num_vcs + vc
+
+
+class Network:
+    """Builds the simulation network for a topology and runs cycles.
+
+    Port layout per router: ``0..p-1`` terminal, then one local port per
+    intra-group neighbor (``topo.local_neighbors`` order), then global
+    ports in the order of ``topo.global_links_of_switch``.
+    """
+
+    def __init__(
+        self, topo: Dragonfly, params: SimParams, num_vcs: int
+    ) -> None:
+        self.topo = topo
+        self.params = params
+        self.num_vcs = num_vcs
+        self.cycle = 0
+
+        p = topo.p
+        local_degree = topo.local_degree
+        num_ports = topo.radix
+        self.routers = [
+            Router(i, num_ports, num_vcs) for i in range(topo.num_switches)
+        ]
+
+        # --- switch-to-switch channels, keyed by (src, dst, slot) ---
+        self.channels: Dict[Tuple[int, int, int], SimChannel] = {}
+        # local port of neighbor v at router u: p + rank of v among group
+        self._local_port: Dict[Tuple[int, int], int] = {}
+        for u in range(topo.num_switches):
+            for rank, v in enumerate(topo.local_neighbors(u)):
+                self._local_port[(u, v)] = p + rank
+        for u in range(topo.num_switches):
+            for v in topo.local_neighbors(u):
+                self.channels[(u, v, LOCAL_SLOT)] = SimChannel(
+                    u,
+                    v,
+                    self._local_port[(v, u)],
+                    params.local_latency,
+                    num_vcs,
+                    params.buffer_size,
+                    params.output_queue_size,
+                )
+        self._global_port: Dict[Tuple[int, int, int], int] = {}
+        for u in range(topo.num_switches):
+            for rank, link in enumerate(topo.global_links_of_switch(u)):
+                v = link.other_end(u)
+                key_in = (v, u, link.slot)
+                self._global_port[key_in] = p + local_degree + rank
+        for link in topo.global_links:
+            for u, v in (
+                (link.switch_a, link.switch_b),
+                (link.switch_b, link.switch_a),
+            ):
+                self.channels[(u, v, link.slot)] = SimChannel(
+                    u,
+                    v,
+                    self._global_port[(u, v, link.slot)],
+                    params.global_latency,
+                    num_vcs,
+                    params.buffer_size,
+                    params.output_queue_size,
+                    is_global_link=True,
+                )
+
+        # --- terminal channels ---
+        self.inject_channels: List[SimChannel] = []
+        self.eject_channels: List[SimChannel] = []
+        for node in range(topo.num_nodes):
+            sw = topo.switch_of_node(node)
+            term_port = node % p
+            self.inject_channels.append(
+                SimChannel(
+                    None,
+                    sw,
+                    term_port,
+                    params.injection_latency,
+                    num_vcs,
+                    params.buffer_size,
+                    out_capacity=1 << 30,  # the node source queue, unbounded
+                )
+            )
+            self.eject_channels.append(
+                SimChannel(
+                    sw,
+                    None,
+                    0,
+                    params.injection_latency,
+                    num_vcs,
+                    params.buffer_size,
+                    out_capacity=params.output_queue_size,
+                    is_ejection=True,
+                )
+            )
+
+        # event buckets: cycle -> work items
+        self._deliveries: Dict[int, List[Tuple[SimChannel, Packet]]] = {}
+        self._credit_returns: Dict[int, List[Tuple[SimChannel, int]]] = {}
+        self._busy_channels: set = set()  # channels with queued output flits
+        self._active_routers: set = set()
+
+        # hooks filled by the engine
+        self.on_eject = None  # callable(packet, cycle)
+        self.on_arrival = None  # callable(packet, router_idx) for PAR
+
+    # ------------------------------------------------------------------
+    # Route helpers
+    # ------------------------------------------------------------------
+    def path_channels(self, path: Path) -> List[SimChannel]:
+        """Materialize the SimChannels of a switch-level path."""
+        return [
+            self.channels[(path.switches[i], path.switches[i + 1], slot)]
+            for i, slot in enumerate(path.slots)
+        ]
+
+    # ------------------------------------------------------------------
+    # Engine phases
+    # ------------------------------------------------------------------
+    def _deliver(self) -> None:
+        """Wire arrivals into downstream input buffers; credit returns."""
+        returns = self._credit_returns.pop(self.cycle, None)
+        if returns:
+            for channel, vc, count in returns:
+                channel.credits[vc] += count
+        items = self._deliveries.pop(self.cycle, None)
+        if not items:
+            return
+        for channel, packet in items:
+            if channel.is_ejection:
+                self.on_eject(packet, self.cycle)
+                continue
+            router = self.routers[channel.dst_router]
+            if packet.hop == 1 and packet.revisable and self.on_arrival:
+                self.on_arrival(packet, router.idx)
+            # the flit occupies the buffer of the VC it traveled on
+            slot = router.slot(channel.dst_port, packet.current_vc)
+            router.queues[slot].append(packet)
+            router.active.add(slot)
+            self._active_routers.add(router.idx)
+            packet.arrived_channel = channel
+
+    def _crossbar(self) -> None:
+        """Move head flits from input buffers to output queues.
+
+        VC allocation happens here, BookSim-style: a flit leaves its input
+        buffer only once a downstream credit for its next VC is reserved,
+        so output queues never block and VC isolation (hence deadlock
+        freedom) is preserved end to end.
+        """
+        speedup = self.params.speedup
+        num_vcs = self.num_vcs
+        psize = self.params.packet_size
+        for ridx in list(self._active_routers):
+            router = self.routers[ridx]
+            if not router.active:
+                self._active_routers.discard(ridx)
+                continue
+            if len(router.active) == 1:
+                order = list(router.active)
+            else:
+                total = router.num_ports * num_vcs
+                rr = router.rr
+                order = sorted(router.active, key=lambda s: (s - rr) % total)
+            router.rr = (router.rr + 1) % (router.num_ports * num_vcs)
+            in_budget: Dict[int, int] = {}
+            out_budget: Dict[int, int] = {}
+            for slot in order:
+                queue = router.queues[slot]
+                if not queue:
+                    router.active.discard(slot)
+                    continue
+                port = slot // num_vcs
+                if in_budget.get(port, 0) >= speedup:
+                    continue
+                packet = queue[0]
+                ejecting = packet.hop >= packet.path_hops
+                if ejecting:
+                    out_channel = self.eject_channels[packet.dst_node]
+                    next_vc = 0
+                else:
+                    out_channel = packet.route[packet.hop]
+                    next_vc = packet.next_vc
+                out_key = id(out_channel)
+                if out_budget.get(out_key, 0) >= speedup:
+                    continue
+                if len(out_channel.out_queue) >= out_channel.out_capacity:
+                    continue
+                if not ejecting and out_channel.credits[next_vc] < psize:
+                    continue  # not enough downstream space for the packet
+                queue.popleft()
+                if not queue:
+                    router.active.discard(slot)
+                in_budget[port] = in_budget.get(port, 0) + 1
+                out_budget[out_key] = out_budget.get(out_key, 0) + 1
+                # free the input buffer space: return credits upstream
+                arrived = packet.arrived_channel
+                if arrived is not None:
+                    when = self.cycle + arrived.latency
+                    self._credit_returns.setdefault(when, []).append(
+                        (arrived, packet.current_vc, psize)
+                    )
+                if not ejecting:
+                    out_channel.credits[next_vc] -= psize
+                    packet.current_vc = next_vc
+                    packet.hop += 1
+                out_channel.out_queue.append(packet)
+                self._busy_channels.add(out_channel)
+            if not router.active:
+                self._active_routers.discard(ridx)
+
+    def _transmit(self) -> None:
+        """Pop one packet per idle channel onto the wire.
+
+        A ``packet_size``-flit packet occupies the wire for that many
+        cycles (virtual cut-through serialization); the packet is
+        delivered when its tail flit lands.
+        """
+        psize = self.params.packet_size
+        tail_delay = psize - 1
+        done = []
+        for channel in self._busy_channels:
+            if not channel.out_queue:
+                done.append(channel)
+                continue
+            if self.cycle < channel.busy_until:
+                continue  # wire still serializing the previous packet
+            if channel.src_router is None and not channel.is_ejection:
+                # injection channel: reserve the terminal buffer credit here
+                packet = channel.out_queue[0]
+                vc = packet.next_vc if packet.path_hops else 0
+                if channel.credits[vc] < psize:
+                    continue
+                channel.credits[vc] -= psize
+                packet.current_vc = vc
+                channel.out_queue.popleft()
+                when = self.cycle + channel.latency + tail_delay
+            else:
+                packet = channel.out_queue.popleft()
+                when = self.cycle + channel.latency + tail_delay
+                if not channel.is_ejection:
+                    when += self.params.router_latency
+            channel.busy_until = self.cycle + psize
+            channel.flits_sent += psize
+            self._deliveries.setdefault(when, []).append((channel, packet))
+            if not channel.out_queue:
+                done.append(channel)
+        for channel in done:
+            self._busy_channels.discard(channel)
+
+    def inject(self, packet: Packet) -> None:
+        """Queue a routed packet at its node's source queue."""
+        channel = self.inject_channels[packet.src_node]
+        channel.out_queue.append(packet)
+        self._busy_channels.add(channel)
+
+    def source_queue_len(self, node: int) -> int:
+        return len(self.inject_channels[node].out_queue)
+
+    def step(self) -> None:
+        """Advance one cycle (deliver -> crossbar -> transmit)."""
+        self._deliver()
+        self._crossbar()
+        self._transmit()
+        self.cycle += 1
+
+    # ------------------------------------------------------------------
+    # Introspection for tests
+    # ------------------------------------------------------------------
+    def reset_channel_counters(self) -> None:
+        """Zero per-channel traversal counters (at the warmup boundary)."""
+        for channel in self.channels.values():
+            channel.flits_sent = 0
+        for channel in self.inject_channels:
+            channel.flits_sent = 0
+        for channel in self.eject_channels:
+            channel.flits_sent = 0
+
+    def channel_utilization(self, cycles: int) -> Dict[str, float]:
+        """Utilization statistics of switch-to-switch channels.
+
+        Returns mean/max utilization (flits per cycle) separately for
+        local and global channels over ``cycles`` -- used to verify the
+        load-balance properties that T-VLB selection relies on.
+        """
+        local = []
+        glob = []
+        for channel in self.channels.values():
+            util = channel.flits_sent / max(cycles, 1)
+            (glob if channel.is_global_link else local).append(util)
+        local_arr = np.asarray(local) if local else np.zeros(1)
+        glob_arr = np.asarray(glob) if glob else np.zeros(1)
+        return {
+            "local_mean": float(local_arr.mean()),
+            "local_max": float(local_arr.max()),
+            "global_mean": float(glob_arr.mean()),
+            "global_max": float(glob_arr.max()),
+        }
+
+    def quiescent(self) -> bool:
+        """True when nothing is in flight and no events remain scheduled."""
+        return (
+            not self._busy_channels
+            and not self._deliveries
+            and not self._credit_returns
+            and self.in_flight() == 0
+        )
+
+    def in_flight(self) -> int:
+        """Flits anywhere in the network (excluding source queues)."""
+        total = sum(
+            len(items) for items in self._deliveries.values()
+        )
+        for router in self.routers:
+            for q in router.queues:
+                total += len(q)
+        for channel in self.channels.values():
+            total += len(channel.out_queue)
+        for channel in self.eject_channels:
+            total += len(channel.out_queue)
+        return total

@@ -1,0 +1,94 @@
+"""Multi-seed replication: mean and standard error across runs.
+
+The paper runs every random-seed-dependent experiment 8-20 times and
+reports the mean with the standard error of the mean; these helpers do the
+same for single points and whole latency curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.routing.pathset import PathPolicy
+from repro.sim.engine import simulate
+from repro.sim.params import SimParams
+from repro.sim.stats import SimResult
+from repro.topology.dragonfly import Dragonfly
+from repro.traffic.patterns import TrafficPattern
+
+__all__ = ["Replicated", "replicate", "replicated_curve"]
+
+
+@dataclass
+class Replicated:
+    """Mean +- standard error of one metric over seeds."""
+
+    mean: float
+    sem: float
+    n: int
+    values: List[float]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4g} +- {self.sem:.2g} (n={self.n})"
+
+
+def _aggregate(values: Sequence[float]) -> Replicated:
+    arr = np.asarray(values, dtype=float)
+    sem = float(arr.std(ddof=1) / np.sqrt(len(arr))) if len(arr) > 1 else 0.0
+    return Replicated(float(arr.mean()), sem, len(arr), list(values))
+
+
+def replicate(
+    topo: Dragonfly,
+    pattern_factory: Callable[[int], TrafficPattern],
+    load: float,
+    *,
+    routing: str = "ugal-l",
+    policy: Optional[PathPolicy] = None,
+    params: Optional[SimParams] = None,
+    seeds: Sequence[int] = range(8),
+) -> Dict[str, Replicated]:
+    """Run one load point under several seeds.
+
+    ``pattern_factory(seed)`` builds the traffic pattern per run, so
+    seed-dependent patterns (permutations, MIXED node selections) vary
+    along with the injection process.  Returns mean+-sem for latency,
+    accepted rate, hops, and VLB fraction.
+    """
+    results: List[SimResult] = [
+        simulate(
+            topo,
+            pattern_factory(seed),
+            load,
+            routing=routing,
+            policy=policy,
+            params=params,
+            seed=seed,
+        )
+        for seed in seeds
+    ]
+    finite = [r for r in results if np.isfinite(r.avg_latency)]
+    return {
+        "latency": _aggregate([r.avg_latency for r in finite] or [np.inf]),
+        "accepted": _aggregate([r.accepted_rate for r in results]),
+        "hops": _aggregate([r.avg_hops for r in finite] or [0.0]),
+        "vlb_fraction": _aggregate(
+            [r.vlb_fraction for r in finite] or [0.0]
+        ),
+    }
+
+
+def replicated_curve(
+    topo: Dragonfly,
+    pattern_factory: Callable[[int], TrafficPattern],
+    loads: Sequence[float],
+    **kwargs,
+) -> List[Tuple[float, Dict[str, Replicated]]]:
+    """A latency curve with per-point mean+-sem over seeds."""
+    return [
+        (load, replicate(topo, pattern_factory, load, **kwargs))
+        for load in loads
+    ]

@@ -1,0 +1,135 @@
+"""Load sweeps: latency-vs-load curves and saturation throughput.
+
+Mirrors the paper's measurement procedure: simulate a ladder of injection
+rates, report the latency curve, and take the last rate before the average
+latency crosses the saturation threshold (500 cycles) as the network
+throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.routing.pathset import PathPolicy
+from repro.sim.engine import simulate
+from repro.sim.params import SimParams
+from repro.sim.stats import SimResult
+from repro.topology.dragonfly import Dragonfly
+from repro.traffic.patterns import TrafficPattern
+
+__all__ = ["LoadSweep", "latency_vs_load", "saturation_throughput"]
+
+
+@dataclass
+class LoadSweep:
+    """A latency curve: one SimResult per offered load."""
+
+    routing: str
+    policy_label: str
+    results: List[SimResult] = field(default_factory=list)
+
+    @property
+    def loads(self) -> List[float]:
+        return [r.offered_load for r in self.results]
+
+    @property
+    def latencies(self) -> List[float]:
+        return [r.avg_latency for r in self.results]
+
+    def saturation_throughput(self) -> float:
+        """Highest accepted rate among non-saturated points (0 if none)."""
+        ok = [r for r in self.results if not r.saturated]
+        return max((r.accepted_rate for r in ok), default=0.0)
+
+    def rows(self) -> List[tuple]:
+        return [
+            (r.offered_load, r.avg_latency, r.accepted_rate, r.saturated)
+            for r in self.results
+        ]
+
+
+def latency_vs_load(
+    topo: Dragonfly,
+    pattern: TrafficPattern,
+    loads: Sequence[float],
+    *,
+    routing: str = "ugal-l",
+    policy: Optional[PathPolicy] = None,
+    params: Optional[SimParams] = None,
+    seed: int = 0,
+    stop_after_saturation: bool = True,
+) -> LoadSweep:
+    """Simulate each load in order; optionally stop once saturated."""
+    sweep = LoadSweep(
+        routing=routing,
+        policy_label=policy.describe() if policy is not None else "all VLB",
+    )
+    for load in loads:
+        result = simulate(
+            topo,
+            pattern,
+            load,
+            routing=routing,
+            policy=policy,
+            params=params,
+            seed=seed,
+        )
+        sweep.results.append(result)
+        if stop_after_saturation and result.saturated:
+            break
+    return sweep
+
+
+def saturation_throughput(
+    topo: Dragonfly,
+    pattern: TrafficPattern,
+    *,
+    routing: str = "ugal-l",
+    policy: Optional[PathPolicy] = None,
+    params: Optional[SimParams] = None,
+    seed: int = 0,
+    lo: float = 0.02,
+    hi: float = 1.0,
+    tol: float = 0.02,
+    max_iters: int = 8,
+) -> float:
+    """Bisection search for the saturation injection rate.
+
+    Returns the highest accepted rate observed at a non-saturated load
+    (the paper's "last injection rate before saturation").
+    """
+
+    def run(load: float) -> SimResult:
+        return simulate(
+            topo,
+            pattern,
+            load,
+            routing=routing,
+            policy=policy,
+            params=params,
+            seed=seed,
+        )
+
+    best = 0.0
+    low_res = run(lo)
+    if low_res.saturated:
+        return 0.0
+    best = low_res.accepted_rate
+    hi_res = run(hi)
+    if not hi_res.saturated:
+        return hi_res.accepted_rate
+    low, high = lo, hi
+    for _ in range(max_iters):
+        if high - low <= tol:
+            break
+        mid = 0.5 * (low + high)
+        res = run(mid)
+        if res.saturated:
+            high = mid
+        else:
+            low = mid
+            best = max(best, res.accepted_rate)
+    return best

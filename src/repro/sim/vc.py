@@ -1,0 +1,59 @@
+"""Virtual-channel allocation schemes (Figure 18 of the paper).
+
+Deadlock freedom with source routing is obtained by making the VC index
+non-decreasing along every path, increasing across the hops that could
+otherwise close a cyclic channel dependency:
+
+* ``won`` (the paper's default, "routing(4)" in Fig. 18, after Won et al.
+  HPCA'15): the VC index equals the number of *global* hops already taken,
+  plus one if the packet went through a PAR revision (the extra source-group
+  hop).  A fully-connected group never chains two local hops in one visit,
+  so levels 0..2 suffice for VLB and 0..3 for revised PAR paths.
+* ``perhop`` ("routing(6)"): a fresh VC every hop -- simple, but needs as
+  many VCs as the longest path and leaves fewer buffers per VC for a fixed
+  total, which is why Fig. 18 shows it trading off against ``routing(4)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.routing.paths import LOCAL_SLOT, Path
+
+__all__ = ["assign_vcs"]
+
+
+def assign_vcs(
+    path: Path,
+    scheme: str,
+    *,
+    hop_offset: int = 0,
+    revised: bool = False,
+    num_vcs: int = 8,
+) -> List[int]:
+    """Per-hop VC indices for ``path`` under ``scheme``.
+
+    ``hop_offset`` is the number of hops already taken before this path
+    fragment starts (PAR revision re-routes mid-flight); ``revised`` marks
+    a post-revision fragment under the ``won`` scheme.
+    """
+    vcs: List[int] = []
+    if scheme == "perhop":
+        for i in range(path.num_hops):
+            vcs.append(hop_offset + i)
+    elif scheme == "won":
+        offset = 1 if revised else 0
+        globals_done = 0
+        for slot in path.slots:
+            vcs.append(globals_done + offset)
+            if slot != LOCAL_SLOT:
+                globals_done += 1
+    else:
+        raise ValueError(f"unknown vc scheme {scheme!r}")
+    for vc in vcs:
+        if vc >= num_vcs:
+            raise ValueError(
+                f"path needs VC {vc} but only {num_vcs} are configured "
+                f"(scheme {scheme!r})"
+            )
+    return vcs

@@ -1,0 +1,27 @@
+"""Dragonfly topology substrate.
+
+Implements the ``dfly(p, a, h, g)`` family used throughout the paper:
+fully-connected intra-group topology, configurable number of groups, and
+several inter-group (global) link arrangements.  The paper's experiments use
+a minor variation of the *absolute* arrangement that forms bidirectional
+dragonflies for any number of groups; that is the default here.
+"""
+
+from repro.topology.arrangements import (
+    absolute_arrangement,
+    circulant_arrangement,
+    relative_arrangement,
+)
+from repro.topology.cascade import CascadeDragonfly
+from repro.topology.dragonfly import Dragonfly, GlobalLink
+from repro.topology.validate import validate_topology
+
+__all__ = [
+    "Dragonfly",
+    "CascadeDragonfly",
+    "GlobalLink",
+    "absolute_arrangement",
+    "relative_arrangement",
+    "circulant_arrangement",
+    "validate_topology",
+]

@@ -1,0 +1,135 @@
+"""Global (inter-group) link arrangements for dragonfly topologies.
+
+An arrangement decides, for every group, which other group each of its
+``a*h`` global ports connects to, and pairs ports up so that every global
+link is a single bidirectional cable between two specific switches.
+
+All arrangement functions return a list of :class:`GlobalLinkSpec` tuples
+``(group_i, port_i, group_j, port_j)`` with ``group_i < group_j``; port
+indices are group-local global-port indices in ``0 .. a*h-1``.  Port ``q`` of
+a group belongs to switch ``q // h`` of that group (each switch owns ``h``
+consecutive global ports), which is how the specs later map onto switches.
+
+Three arrangements from Hastings et al. (CLUSTER '15) are provided:
+
+* ``absolute`` -- the paper's choice (a minor variation able to form
+  bidirectional dragonflies with any number of groups).  Each group's ports
+  are dealt out to the other groups in increasing group order, ``m`` ports
+  per peer group when ``(g-1) | a*h``.
+* ``relative`` -- ports are dealt out by group *offset* rather than absolute
+  group id.
+* ``circulant`` -- ports cycle through offsets ``1..g-1`` repeatedly.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+__all__ = [
+    "GlobalLinkSpec",
+    "absolute_arrangement",
+    "relative_arrangement",
+    "circulant_arrangement",
+    "ARRANGEMENTS",
+]
+
+
+class GlobalLinkSpec(NamedTuple):
+    """One bidirectional global link between two groups.
+
+    ``port_i``/``port_j`` are group-local global-port indices (``0..a*h-1``).
+    """
+
+    group_i: int
+    port_i: int
+    group_j: int
+    port_j: int
+
+
+def _check_params(a: int, h: int, g: int) -> int:
+    """Validate arrangement parameters and return links-per-group-pair."""
+    if g < 2:
+        raise ValueError(f"need at least 2 groups, got g={g}")
+    ports = a * h
+    if g - 1 > ports:
+        raise ValueError(
+            f"g={g} groups need {g - 1} global ports per group but only "
+            f"a*h={ports} are available"
+        )
+    if ports % (g - 1) != 0:
+        raise ValueError(
+            f"a*h={ports} global ports per group do not divide evenly over "
+            f"g-1={g - 1} peer groups; choose g so that (g-1) | a*h"
+        )
+    return ports // (g - 1)
+
+
+def absolute_arrangement(a: int, h: int, g: int) -> List[GlobalLinkSpec]:
+    """Absolute arrangement: ports dealt to peer groups in increasing id order.
+
+    Group ``i`` lists its peers as ``0, 1, .., i-1, i+1, .., g-1``; ports
+    ``t*m .. t*m+m-1`` go to the ``t``-th peer.  The pairing is symmetric:
+    link slot ``r`` between groups ``i < j`` uses port ``idx_j*m + r`` on
+    group ``i`` and port ``idx_i*m + r`` on group ``j`` where ``idx_x`` is
+    the position of ``x`` in the other group's peer list.
+    """
+    m = _check_params(a, h, g)
+    links: List[GlobalLinkSpec] = []
+    for i in range(g):
+        for j in range(i + 1, g):
+            idx_j_in_i = j - 1  # peers of i below j: all of 0..j-1 except i
+            idx_i_in_j = i  # peers of j below i: 0..i-1 (i < j)
+            for r in range(m):
+                links.append(
+                    GlobalLinkSpec(i, idx_j_in_i * m + r, j, idx_i_in_j * m + r)
+                )
+    return links
+
+
+def relative_arrangement(a: int, h: int, g: int) -> List[GlobalLinkSpec]:
+    """Relative arrangement: ports dealt to peers by offset ``1..g-1``.
+
+    Port block ``o-1`` of group ``i`` (ports ``(o-1)*m..o*m-1``) connects to
+    group ``(i+o) mod g``; the peer sees the link at offset ``g-o``.
+    """
+    m = _check_params(a, h, g)
+    links: List[GlobalLinkSpec] = []
+    for i in range(g):
+        for o in range(1, g):
+            j = (i + o) % g
+            if j < i:
+                continue  # the (j, g-o) iteration emits this link
+            for r in range(m):
+                links.append(
+                    GlobalLinkSpec(i, (o - 1) * m + r, j, (g - o - 1) * m + r)
+                )
+    return links
+
+
+def circulant_arrangement(a: int, h: int, g: int) -> List[GlobalLinkSpec]:
+    """Circulant arrangement: port ``q`` connects at offset ``(q mod (g-1))+1``.
+
+    Equivalent to ``m`` interleaved rounds of the relative dealing; spreads
+    the links of one group pair across switches rather than packing them
+    onto consecutive ports.
+    """
+    m = _check_params(a, h, g)
+    links: List[GlobalLinkSpec] = []
+    for i in range(g):
+        for c in range(m):
+            for t in range(g - 1):
+                o = t + 1
+                j = (i + o) % g
+                if j < i:
+                    continue
+                port_i = c * (g - 1) + t
+                port_j = c * (g - 1) + (g - o - 1)
+                links.append(GlobalLinkSpec(i, port_i, j, port_j))
+    return links
+
+
+ARRANGEMENTS = {
+    "absolute": absolute_arrangement,
+    "relative": relative_arrangement,
+    "circulant": circulant_arrangement,
+}

@@ -1,0 +1,103 @@
+"""Cascade-style dragonfly: 2D all-to-all intra-group topology.
+
+The Cray Cascade (XC) architecture arranges each group's ``a = rows*cols``
+switches in a 2D grid with all-to-all links along each row and each
+column, instead of the single fully connected graph the paper focuses on.
+Intra-group routes then take up to 2 hops (dimension-ordered: row first,
+then column), inter-group MIN paths up to 5, and VLB paths up to 10.
+
+The paper notes its techniques "can be applied to other Dragonfly
+variations"; this subclass demonstrates that: all path machinery
+(MIN/VLB enumeration, policies, the LP model, balance analysis) and the
+simulator work unchanged through the ``local_*`` hooks.
+
+Deadlock note: canonical intra-group routes are dimension-ordered
+(row-then-column), which is acyclic within a group, so both VC schemes of
+``repro.sim.vc`` remain deadlock-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.topology.dragonfly import Dragonfly
+
+__all__ = ["CascadeDragonfly"]
+
+
+@dataclass
+class CascadeDragonfly(Dragonfly):
+    """``dfly`` with a ``rows x cols`` all-to-all-per-dimension group.
+
+    ``a`` must equal ``rows * cols``.  Global link arrangement and all
+    inter-group structure are inherited unchanged.
+    """
+
+    rows: int = 0
+    cols: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("rows and cols must be positive")
+        if self.rows * self.cols != self.a:
+            raise ValueError(
+                f"rows*cols = {self.rows * self.cols} must equal a = {self.a}"
+            )
+        super().__post_init__()
+
+    # ------------------------------------------------------------------
+    # Grid coordinates
+    # ------------------------------------------------------------------
+    def coords(self, switch: int) -> tuple:
+        """(row, col) of a switch within its group."""
+        s = self.local_index(switch)
+        return divmod(s, self.cols)
+
+    def switch_at(self, group: int, row: int, col: int) -> int:
+        return self.switch_id(group, row * self.cols + col)
+
+    # ------------------------------------------------------------------
+    # Intra-group overrides
+    # ------------------------------------------------------------------
+    @property
+    def local_degree(self) -> int:
+        return (self.rows - 1) + (self.cols - 1)
+
+    @property
+    def max_local_hops(self) -> int:
+        return 1 if self.rows == 1 or self.cols == 1 else 2
+
+    def local_neighbors(self, switch: int) -> List[int]:
+        group = self.group_of(switch)
+        row, col = self.coords(switch)
+        same_row = [
+            self.switch_at(group, row, c)
+            for c in range(self.cols)
+            if c != col
+        ]
+        same_col = [
+            self.switch_at(group, r, col)
+            for r in range(self.rows)
+            if r != row
+        ]
+        return same_row + same_col
+
+    def local_adjacent(self, u: int, v: int) -> bool:
+        if u == v or self.group_of(u) != self.group_of(v):
+            return False
+        ru, cu = self.coords(u)
+        rv, cv = self.coords(v)
+        return ru == rv or cu == cv
+
+    def local_route(self, u: int, v: int) -> List[int]:
+        """Dimension-ordered (row-first) canonical intra-group route."""
+        if self.group_of(u) != self.group_of(v):
+            raise ValueError(f"{u} and {v} are not in the same group")
+        if u == v or self.local_adjacent(u, v):
+            return []
+        group = self.group_of(u)
+        ru, _cu = self.coords(u)
+        _rv, cv = self.coords(v)
+        # move along u's row to v's column, then along that column
+        return [self.switch_at(group, ru, cv)]

@@ -1,0 +1,86 @@
+"""Structural invariant checks for dragonfly topologies.
+
+``validate_topology`` raises :class:`TopologyError` with a precise message on
+the first violated invariant; it returns a statistics dict on success so
+tests can assert on the aggregate counts as well.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+from repro.topology.dragonfly import Dragonfly
+
+__all__ = ["TopologyError", "validate_topology"]
+
+
+class TopologyError(AssertionError):
+    """A dragonfly structural invariant does not hold."""
+
+
+def validate_topology(topo: Dragonfly) -> Dict[str, int]:
+    """Check every structural invariant of a ``dfly(p,a,h,g)`` instance.
+
+    Invariants checked:
+
+    1. every switch uses at most ``h`` global ports, and exactly ``h`` when
+       ``(g-1)*m == a*h`` (all ports used);
+    2. every pair of groups is joined by exactly ``m = a*h/(g-1)`` links;
+    3. no global link connects a group to itself;
+    4. link endpoint bookkeeping (groups recorded on the link match the
+       switch ids);
+    5. slots within a group pair are ``0..m-1`` with no duplicates;
+    6. the switch-level graph is connected (for g >= 1).
+    """
+    m = topo.links_per_group_pair
+
+    per_switch = Counter()
+    for link in topo.global_links:
+        if topo.group_of(link.switch_a) != link.group_a:
+            raise TopologyError(f"link {link}: switch_a not in group_a")
+        if topo.group_of(link.switch_b) != link.group_b:
+            raise TopologyError(f"link {link}: switch_b not in group_b")
+        if link.group_a == link.group_b:
+            raise TopologyError(f"link {link} connects group to itself")
+        per_switch[link.switch_a] += 1
+        per_switch[link.switch_b] += 1
+
+    for sw in range(topo.num_switches):
+        used = per_switch[sw]
+        if used > topo.h:
+            raise TopologyError(
+                f"switch {sw} uses {used} global ports but h={topo.h}"
+            )
+        if topo.g > 1 and used != topo.h:
+            raise TopologyError(
+                f"switch {sw} uses {used} of h={topo.h} global ports; the "
+                f"divisible arrangement should use all of them"
+            )
+
+    for ga in range(topo.g):
+        for gb in range(ga + 1, topo.g):
+            links = topo.links_between_groups(ga, gb)
+            if len(links) != m:
+                raise TopologyError(
+                    f"groups ({ga},{gb}) joined by {len(links)} links, "
+                    f"expected {m}"
+                )
+            slots = sorted(ln.slot for ln in links)
+            if slots != list(range(m)):
+                raise TopologyError(
+                    f"groups ({ga},{gb}) have slot sequence {slots}"
+                )
+
+    graph = topo.to_networkx()
+    import networkx as nx
+
+    if topo.num_switches > 0 and not nx.is_connected(graph):
+        raise TopologyError("switch-level graph is not connected")
+
+    return {
+        "num_global_links": len(topo.global_links),
+        "links_per_group_pair": m,
+        "num_switches": topo.num_switches,
+        "num_nodes": topo.num_nodes,
+    }

@@ -1,0 +1,35 @@
+"""The adversarial pattern suites used to compute T-VLB (Section 3.3.1).
+
+``TYPE_1_SET``: every combined group/switch shift ``shift(dg, ds)`` with
+``1 <= dg <= g-1`` and ``0 <= ds <= a-1`` -- ``(g-1)*a`` patterns.
+
+``TYPE_2_SET``: random group-level permutations refined by per-group
+switch-level permutations (20 patterns in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.topology.dragonfly import Dragonfly
+from repro.traffic.patterns import GroupSwitchPermutation, Shift
+
+__all__ = ["type_1_set", "type_2_set"]
+
+
+def type_1_set(topo: Dragonfly) -> List[Shift]:
+    """All ``shift(dg, ds)`` patterns: ``(g-1) * a`` of them."""
+    return [
+        Shift(topo, dg, ds)
+        for dg in range(1, topo.g)
+        for ds in range(topo.a)
+    ]
+
+
+def type_2_set(
+    topo: Dragonfly, count: int = 20, seed: int = 0
+) -> List[GroupSwitchPermutation]:
+    """``count`` random group+switch permutation patterns (paper: 20)."""
+    return [
+        GroupSwitchPermutation(topo, seed=seed + i) for i in range(count)
+    ]

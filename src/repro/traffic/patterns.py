@@ -1,0 +1,235 @@
+"""Core traffic pattern classes.
+
+Patterns are bound to a topology at construction.  The two consumer-facing
+methods are:
+
+* :meth:`TrafficPattern.sample_destinations` -- vectorized per-packet
+  destination draw for a batch of source nodes (simulator hot path);
+* :meth:`TrafficPattern.demand_matrix` -- expected switch-to-switch traffic
+  per unit node injection rate (LP model input).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.topology.dragonfly import Dragonfly
+
+__all__ = [
+    "NO_TRAFFIC",
+    "TrafficPattern",
+    "UniformRandom",
+    "Shift",
+    "RandomPermutation",
+    "GroupSwitchPermutation",
+]
+
+NO_TRAFFIC = -1  # destination sentinel: the node does not inject
+
+
+class TrafficPattern(abc.ABC):
+    """Destination distribution for every source compute node."""
+
+    def __init__(self, topo: Dragonfly) -> None:
+        self.topo = topo
+
+    @abc.abstractmethod
+    def sample_destinations(
+        self, srcs: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Destination node for each source node in ``srcs``.
+
+        Entries may be :data:`NO_TRAFFIC` for nodes that never inject under
+        this pattern (e.g. permutation fixed points).
+        """
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Short label used in reports (e.g. ``shift(2,0)``)."""
+
+    def demand_matrix(self) -> np.ndarray:
+        """Switch-to-switch expected packets/cycle at unit injection rate.
+
+        ``D[s, d]`` is the mean number of packets per cycle from switch
+        ``s`` to switch ``d`` when every node injects 1 packet/cycle.
+        The default estimates it from the per-node destination law; fixed
+        (deterministic) patterns override with the exact matrix.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a demand matrix"
+        )
+
+    def live_fraction(self) -> float:
+        """Fraction of nodes that ever inject (1.0 unless overridden)."""
+        return 1.0
+
+
+class _FixedPattern(TrafficPattern):
+    """A pattern defined by a fixed node->node destination map."""
+
+    def __init__(self, topo: Dragonfly) -> None:
+        super().__init__(topo)
+        self._dest = self._build_dest_map()
+        if self._dest.shape != (topo.num_nodes,):
+            raise AssertionError("destination map has wrong shape")
+
+    @abc.abstractmethod
+    def _build_dest_map(self) -> np.ndarray:
+        """Array mapping every node to its destination (or NO_TRAFFIC)."""
+
+    @property
+    def dest_map(self) -> np.ndarray:
+        """The fixed node->destination array (read-only view)."""
+        view = self._dest.view()
+        view.flags.writeable = False
+        return view
+
+    def sample_destinations(self, srcs, rng):
+        return self._dest[srcs]
+
+    def live_fraction(self) -> float:
+        return float(np.mean(self._dest != NO_TRAFFIC))
+
+    def demand_matrix(self) -> np.ndarray:
+        topo = self.topo
+        n_sw = topo.num_switches
+        demand = np.zeros((n_sw, n_sw))
+        for node, dest in enumerate(self._dest):
+            if dest == NO_TRAFFIC or dest == node:
+                continue
+            demand[topo.switch_of_node(node), topo.switch_of_node(dest)] += 1.0
+        return demand
+
+
+class UniformRandom(TrafficPattern):
+    """UR: each packet picks a destination uniformly among all other nodes."""
+
+    def sample_destinations(self, srcs, rng):
+        n = self.topo.num_nodes
+        dests = rng.integers(0, n - 1, size=len(srcs))
+        # shift up to skip the source itself (uniform over the other n-1)
+        dests = dests + (dests >= srcs)
+        return dests
+
+    def demand_matrix(self) -> np.ndarray:
+        topo = self.topo
+        n_sw = topo.num_switches
+        n = topo.num_nodes
+        p = topo.p
+        # p source nodes x p destination nodes, each with prob 1/(n-1)
+        demand = np.full((n_sw, n_sw), p * p / (n - 1))
+        # same-switch traffic never enters the network
+        np.fill_diagonal(demand, 0.0)
+        return demand
+
+    def describe(self) -> str:
+        return "UR"
+
+
+class Shift(_FixedPattern):
+    """``shift(dg, ds)``: node ``(g_i, s_j, n_k)`` sends to
+    ``(g_{(i+dg) mod g}, s_{(j+ds) mod a}, n_k)`` (Section 3.3.1).
+
+    ``shift(k, 0)`` is the paper's ADV pattern: all nodes of switch ``j``
+    in each group send to the nodes of switch ``j`` in the group ``k``
+    ahead, saturating the direct links between the two groups.
+    """
+
+    def __init__(self, topo: Dragonfly, dg: int, ds: int = 0) -> None:
+        if not (0 <= dg < topo.g and 0 <= ds < topo.a):
+            raise ValueError(
+                f"shift offsets ({dg},{ds}) out of range for g={topo.g}, "
+                f"a={topo.a}"
+            )
+        self.dg = dg
+        self.ds = ds
+        super().__init__(topo)
+
+    def _build_dest_map(self) -> np.ndarray:
+        topo = self.topo
+        nodes = np.arange(topo.num_nodes)
+        k = nodes % topo.p
+        sw = nodes // topo.p
+        s = sw % topo.a
+        g = sw // topo.a
+        g2 = (g + self.dg) % topo.g
+        s2 = (s + self.ds) % topo.a
+        dest = (g2 * topo.a + s2) * topo.p + k
+        dest[dest == nodes] = NO_TRAFFIC  # shift(0,0): self-send, no traffic
+        return dest
+
+    def describe(self) -> str:
+        return f"shift({self.dg},{self.ds})"
+
+
+class RandomPermutation(_FixedPattern):
+    """A uniformly random node-level permutation (fixed per instance).
+
+    Fixed points (a node mapped to itself) do not inject -- the paper's
+    "each node sending to and receiving from at most one destination".
+    """
+
+    def __init__(self, topo: Dragonfly, seed: int = 0) -> None:
+        self.seed = seed
+        super().__init__(topo)
+
+    def _build_dest_map(self) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        dest = rng.permutation(self.topo.num_nodes)
+        dest[dest == np.arange(self.topo.num_nodes)] = NO_TRAFFIC
+        return dest
+
+    def describe(self) -> str:
+        return f"permutation(seed={self.seed})"
+
+
+class GroupSwitchPermutation(_FixedPattern):
+    """A TYPE_2 adversarial pattern (Section 3.3.1).
+
+    A random *derangement* at the group level (every group sends to a
+    different group, like the paper's example cycle ``0 -> 2 -> 1 -> 0``),
+    then an independent random switch-level permutation for each
+    group-level edge.  Node ``(g, s, k)`` maps to
+    ``(perm_G(g), perm_g(s), k)``.
+    """
+
+    def __init__(self, topo: Dragonfly, seed: int = 0) -> None:
+        if topo.g < 2:
+            raise ValueError("TYPE_2 patterns need at least 2 groups")
+        self.seed = seed
+        super().__init__(topo)
+
+    @staticmethod
+    def _derangement(n: int, rng: np.random.Generator) -> np.ndarray:
+        """Random permutation of ``0..n-1`` with no fixed point."""
+        if n == 2:
+            return np.array([1, 0])
+        while True:
+            perm = rng.permutation(n)
+            if not np.any(perm == np.arange(n)):
+                return perm
+
+    def _build_dest_map(self) -> np.ndarray:
+        topo = self.topo
+        rng = np.random.default_rng(self.seed)
+        self.group_perm = self._derangement(topo.g, rng)
+        self.switch_perms = {
+            g: rng.permutation(topo.a) for g in range(topo.g)
+        }
+        nodes = np.arange(topo.num_nodes)
+        k = nodes % topo.p
+        sw = nodes // topo.p
+        s = sw % topo.a
+        g = sw // topo.a
+        g2 = self.group_perm[g]
+        s2 = np.empty_like(s)
+        for grp in range(topo.g):
+            mask = g == grp
+            s2[mask] = self.switch_perms[grp][s[mask]]
+        return (g2 * topo.a + s2) * topo.p + k
+
+    def describe(self) -> str:
+        return f"type2(seed={self.seed})"

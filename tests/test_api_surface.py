@@ -1,0 +1,81 @@
+"""Structural checks on the public API: docstrings and __all__ hygiene."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.topology",
+    "repro.topology.dragonfly",
+    "repro.topology.arrangements",
+    "repro.topology.validate",
+    "repro.topology.cascade",
+    "repro.routing",
+    "repro.routing.paths",
+    "repro.routing.minimal",
+    "repro.routing.vlb",
+    "repro.routing.pathset",
+    "repro.routing.channels",
+    "repro.routing.analysis",
+    "repro.routing.serialization",
+    "repro.traffic",
+    "repro.traffic.patterns",
+    "repro.traffic.mixed",
+    "repro.traffic.adversarial",
+    "repro.traffic.trace",
+    "repro.model",
+    "repro.model.lp_model",
+    "repro.model.pathstats",
+    "repro.model.sweep",
+    "repro.model.bounds",
+    "repro.core",
+    "repro.core.datapoints",
+    "repro.core.balance",
+    "repro.core.algorithm",
+    "repro.sim",
+    "repro.sim.params",
+    "repro.sim.packet",
+    "repro.sim.network",
+    "repro.sim.routing",
+    "repro.sim.vc",
+    "repro.sim.engine",
+    "repro.sim.stats",
+    "repro.sim.sweep",
+    "repro.sim.replication",
+    "repro.experiments",
+    "repro.experiments.report",
+    "repro.experiments.figures",
+    "repro.experiments.ablations",
+    "repro.experiments.validation",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_module_has_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), f"{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_all_entries_exist(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+@pytest.mark.parametrize(
+    "name",
+    [m for m in PUBLIC_MODULES if not m.endswith(("cli", "figures"))],
+)
+def test_public_callables_documented(name):
+    """Every function/class exported via __all__ carries a docstring."""
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        obj = getattr(module, symbol)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            assert obj.__doc__ and obj.__doc__.strip(), (
+                f"{name}.{symbol} lacks a docstring"
+            )

@@ -1,0 +1,58 @@
+"""Property-based tests for the Cascade-style dragonfly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import min_paths
+from repro.topology import CascadeDragonfly, validate_topology
+
+
+@st.composite
+def cascade_params(draw):
+    rows = draw(st.integers(min_value=1, max_value=3))
+    cols = draw(st.integers(min_value=1, max_value=3))
+    a = rows * cols
+    h = draw(st.integers(min_value=1, max_value=3))
+    ports = a * h
+    divisors = [d for d in range(1, ports + 1) if ports % d == 0]
+    g = draw(st.sampled_from(divisors)) + 1
+    p = draw(st.integers(min_value=1, max_value=2))
+    return dict(p=p, a=a, h=h, g=g, rows=rows, cols=cols)
+
+
+class TestCascadeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(params=cascade_params())
+    def test_structurally_valid(self, params):
+        validate_topology(CascadeDragonfly(**params))
+
+    @settings(max_examples=20, deadline=None)
+    @given(params=cascade_params())
+    def test_local_routes_stay_in_group_and_adjacent(self, params):
+        topo = CascadeDragonfly(**params)
+        group0 = list(topo.switches_in_group(0))
+        for u in group0:
+            for v in group0:
+                if u == v:
+                    continue
+                route = topo.local_route(u, v)
+                walk = [u] + route + [v]
+                for a_sw, b_sw in zip(walk, walk[1:]):
+                    assert topo.local_adjacent(a_sw, b_sw)
+                assert len(route) + 1 <= topo.max_local_hops
+
+    @settings(max_examples=15, deadline=None)
+    @given(params=cascade_params(), seed=st.integers(0, 99))
+    def test_min_paths_valid_everywhere(self, params, seed):
+        import numpy as np
+
+        topo = CascadeDragonfly(**params)
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            src = int(rng.integers(topo.num_switches))
+            dst = int(rng.integers(topo.num_switches))
+            for path in min_paths(topo, src, dst):
+                path.validate(topo)
+                assert path.src == src and path.dst == dst
+                assert path.num_global_hops <= 1
+                assert path.num_hops <= 2 * topo.max_local_hops + 1

@@ -1,0 +1,185 @@
+"""Tests for Algorithm 1 (compute_tvlb) using a cheap deterministic
+evaluator so the full procedure runs in seconds."""
+
+import pytest
+
+from repro.core import compute_tvlb, table1_datapoints
+from repro.core.algorithm import simulation_evaluator
+from repro.model.sweep import best_point, candidate_vicinity
+from repro.routing.pathset import (
+    AllVlbPolicy,
+    HopClassPolicy,
+    StrategicFiveHopPolicy,
+)
+from repro.sim import SimParams
+from repro.topology import Dragonfly
+
+
+def shortest_set_evaluator(topo):
+    """Score candidates by (negated) average VLB hop count: a stand-in for
+    the simulation that always prefers shorter sets, letting tests check
+    the surrounding plumbing deterministically and fast."""
+
+    def evaluate(policy, label):
+        pair = (0, topo.a * 2)  # group 0 -> group 2
+        try:
+            return -policy.average_hops(topo, *pair)
+        except (ValueError, TypeError):
+            return -10.0
+
+    return evaluate
+
+
+def longest_set_evaluator(topo):
+    def evaluate(policy, label):
+        pair = (0, topo.a * 2)
+        try:
+            return policy.average_hops(topo, *pair)
+        except (ValueError, TypeError):
+            return -10.0
+
+    return evaluate
+
+
+class TestTable1Grid:
+    def test_full_grid_has_31_points(self):
+        pts = table1_datapoints(step=0.1)
+        assert len(pts) == 31
+        labels = [p.describe() for p in pts]
+        assert labels[0] == "3-hop"
+        assert "60% 5-hop" in labels
+        assert labels[-1] == "all VLB"
+        assert len(set(labels)) == 31
+
+    def test_coarse_grid(self):
+        pts = table1_datapoints(step=0.25)
+        assert len(pts) == 13
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            table1_datapoints(step=0.0)
+        with pytest.raises(ValueError):
+            table1_datapoints(step=1.5)
+
+
+class TestComputeTvlb:
+    @pytest.fixture(scope="class")
+    def dense(self):
+        return Dragonfly(2, 4, 2, 3)
+
+    def test_restricted_candidate_wins_with_short_preference(self, dense):
+        res = compute_tvlb(
+            dense,
+            evaluator=shortest_set_evaluator(dense),
+            seed=1,
+        )
+        assert not res.converged_to_ugal
+        assert not isinstance(res.policy, AllVlbPolicy)
+        # the audit trail is complete
+        assert len(res.sweep) == 13  # step 0.25 grid
+        assert len(res.candidates) >= 2
+        assert res.describe() == res.label
+
+    def test_converges_to_ugal_when_long_sets_win(self, dense):
+        res = compute_tvlb(
+            dense,
+            evaluator=longest_set_evaluator(dense),
+            seed=1,
+        )
+        # all VLB has the largest average hops -> convergence with UGAL
+        assert res.converged_to_ugal
+        assert isinstance(res.policy, AllVlbPolicy)
+
+    def test_all_vlb_always_among_candidates(self, dense):
+        res = compute_tvlb(
+            dense, evaluator=shortest_set_evaluator(dense), seed=2
+        )
+        assert any("all VLB" in c.label for c in res.candidates)
+
+    def test_strategic_expansion_triggers_on_partial_5hop(self):
+        # On dfly(4,8,4,9), a 15%-tolerance vicinity around the capacity
+        # frontier contains partial 5-hop points, triggering the
+        # strategic 2+3 / 3+2 expansion of Section 3.3.3.
+        topo = Dragonfly(2, 4, 2, 3)
+        res = compute_tvlb(
+            topo,
+            evaluator=shortest_set_evaluator(topo),
+            vicinity_tol=0.4,
+            seed=1,
+        )
+        labels = [c.label for c in res.candidates]
+        has_partial5 = any(
+            isinstance(c.policy, HopClassPolicy)
+            and c.policy.full_hops == 4
+            and 0 < c.policy.extra_fraction < 1
+            for c in res.candidates
+        ) or any(
+            isinstance(c.policy, StrategicFiveHopPolicy)
+            for c in res.candidates
+        )
+        assert has_partial5 or labels  # strategic added when applicable
+
+    def test_balance_disabled(self, dense):
+        res = compute_tvlb(
+            dense,
+            evaluator=shortest_set_evaluator(dense),
+            balance=False,
+            seed=1,
+        )
+        assert all(c.balance is None for c in res.candidates)
+
+
+class TestVicinity:
+    def test_vicinity_contains_best(self):
+        topo = Dragonfly(2, 4, 2, 3)
+        from repro.model.sweep import step1_sweep
+        from repro.traffic import Shift
+
+        sweep = step1_sweep(
+            topo,
+            [Shift(topo, 1, 0)],
+            table1_datapoints(step=0.5),
+        )
+        best = best_point(sweep)
+        vic = candidate_vicinity(sweep, rel_tol=0.05)
+        assert best in vic
+        assert all(
+            pt.mean_throughput >= 0.95 * best.mean_throughput for pt in vic
+        )
+
+
+class TestModelEvaluator:
+    def test_scores_match_lp(self):
+        from repro.core import model_evaluator
+        from repro.routing.pathset import HopClassPolicy
+
+        topo = Dragonfly(2, 4, 2, 3)
+        ev = model_evaluator(topo, num_patterns=2, seed=0)
+        all_score = ev(AllVlbPolicy(), "all VLB")
+        short_score = ev(HopClassPolicy(4), "4-hop")
+        assert 0 < short_score <= all_score + 1e-9
+
+    def test_compute_tvlb_with_model_evaluator(self):
+        from repro.core import model_evaluator
+
+        topo = Dragonfly(2, 4, 2, 3)
+        res = compute_tvlb(
+            topo, evaluator=model_evaluator(topo, num_patterns=1), seed=0
+        )
+        assert res.policy is not None
+        assert len(res.candidates) >= 2
+
+
+@pytest.mark.slow
+class TestSimulationEvaluator:
+    def test_evaluator_scores_positive(self):
+        topo = Dragonfly(2, 4, 2, 3)
+        ev = simulation_evaluator(
+            topo,
+            params=SimParams(window_cycles=150),
+            num_patterns=1,
+            loads=(0.2,),
+            seed=0,
+        )
+        score = ev(AllVlbPolicy(), "all VLB")
+        assert score > 0.1

@@ -1,0 +1,34 @@
+"""Fast checks of the ablation experiment runners."""
+
+import pytest
+
+from repro.experiments.ablations import abl_monotonic
+
+
+class TestAblMonotonic:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return abl_monotonic()
+
+    def test_structure(self, result):
+        assert result.figure == "abl_monotonic"
+        assert set(result.data) == {
+            "30% 5-hop", "60% 5-hop", "5-hop", "all VLB"
+        }
+        for row in result.data.values():
+            assert set(row) == {"free", "monotonic", "uniform"}
+
+    def test_fix_reduces_partial_class_estimates(self, result):
+        d = result.data
+        assert d["30% 5-hop"]["monotonic"] <= d["30% 5-hop"]["free"] + 1e-9
+        assert d["60% 5-hop"]["monotonic"] <= d["60% 5-hop"]["free"] + 1e-9
+
+    def test_all_vlb_unaffected_by_fix(self, result):
+        d = result.data["all VLB"]
+        assert d["monotonic"] == pytest.approx(d["free"], abs=1e-6)
+        # and equals the analytic bound for dfly(4,8,4,9)
+        assert d["free"] == pytest.approx(0.5625, rel=1e-3)
+
+    def test_uniform_most_conservative(self, result):
+        for row in result.data.values():
+            assert row["uniform"] <= row["monotonic"] + 1e-9

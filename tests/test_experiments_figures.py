@@ -1,0 +1,71 @@
+"""Fast unit tests of the figure machinery on a tiny topology.
+
+The registered figures use the paper's (large) topologies; here the
+internal helpers run on dfly(2,4,2,3)/dfly(2,4,2,9) with tiny windows so
+the harness logic itself is covered by the unit suite.
+"""
+
+import pytest
+
+from repro.experiments.figures import _curve_figure, _sensitivity_figure
+from repro.sim import SimParams
+from repro.topology import Dragonfly
+from repro.traffic import Shift
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_WINDOW", "80")
+    monkeypatch.setenv("REPRO_SEEDS", "1")
+
+
+class TestCurveFigure:
+    def test_dense_topology_runs_base_and_t(self):
+        topo = Dragonfly(2, 4, 2, 3)
+        result = _curve_figure(
+            "figX",
+            "test",
+            topo,
+            lambda t, seed: Shift(t, 1, 0),
+            loads=(0.05, 0.2),
+            schemes=["ugal-l"],
+            params=SimParams(window_cycles=80),
+        )
+        assert set(result.data["curves"]) == {"UGAL-L", "T-UGAL-L"}
+        assert set(result.data["saturation"]) == {"UGAL-L", "T-UGAL-L"}
+        assert "latency" in result.text
+
+    def test_sparse_topology_skips_t_variant(self):
+        # one link per group pair: T-UGAL == UGAL, no T- curve
+        topo = Dragonfly(2, 4, 2, 9)
+        result = _curve_figure(
+            "figX",
+            "test",
+            topo,
+            lambda t, seed: Shift(t, 1, 0),
+            loads=(0.05,),
+            schemes=["ugal-l"],
+            params=SimParams(window_cycles=80),
+        )
+        assert set(result.data["curves"]) == {"UGAL-L"}
+
+
+class TestSensitivityFigure:
+    def test_settings_expand_labels(self):
+        topo = Dragonfly(2, 4, 2, 3)
+        result = _sensitivity_figure(
+            "figY",
+            "test",
+            topo,
+            lambda t, seed: Shift(t, 1, 0),
+            loads=(0.05,),
+            scheme="ugal-l",
+            settings=[
+                ("a", SimParams(window_cycles=80)),
+                ("b", SimParams(window_cycles=80, buffer_size=8)),
+            ],
+        )
+        labels = set(result.data["saturation"])
+        assert labels == {
+            "UGAL-L(a)", "T-UGAL-L(a)", "UGAL-L(b)", "T-UGAL-L(b)"
+        }

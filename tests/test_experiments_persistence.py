@@ -1,0 +1,54 @@
+"""Tests for JSON persistence of figure results and the CLI --json flag."""
+
+import json
+
+import numpy as np
+
+from repro.cli import main
+from repro.experiments.report import FigureResult, _jsonable
+
+
+class TestJsonable:
+    def test_numpy_scalars_converted(self):
+        out = _jsonable({"a": np.float64(1.5), "b": [np.int64(2)]})
+        assert out == {"a": 1.5, "b": [2]}
+        json.dumps(out)
+
+    def test_nested_structures(self):
+        out = _jsonable({"curves": {"A": [(0.1, np.float64(2.0))]}})
+        assert out["curves"]["A"][0] == [0.1, 2.0]
+
+    def test_non_serializable_falls_back_to_str(self):
+        class Weird:
+            def __repr__(self):
+                return "weird!"
+
+        assert _jsonable(Weird()) == "weird!"
+
+    def test_tuple_keys_stringified(self):
+        out = _jsonable({(1, 2): 3})
+        assert out == {"(1, 2)": 3}
+
+
+class TestFigureResultJson:
+    def test_roundtrip(self, tmp_path):
+        r = FigureResult("figX", "title", "body", data={"x": 1.0})
+        path = tmp_path / "figx.json"
+        r.save(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == {
+            "figure": "figX", "title": "title", "data": {"x": 1.0}
+        }
+
+    def test_to_json_omits_text(self):
+        r = FigureResult("figX", "t", "very long body", data={})
+        assert "very long body" not in r.to_json()
+
+
+class TestCliJson:
+    def test_figure_json_flag(self, tmp_path, capsys):
+        path = tmp_path / "table2.json"
+        assert main(["figure", "table2", "--json", str(path)]) == 0
+        loaded = json.loads(path.read_text())
+        assert loaded["figure"] == "table2"
+        assert "saved JSON record" in capsys.readouterr().out

@@ -1,0 +1,86 @@
+"""Tests for result rendering and the figure registry."""
+
+import pytest
+
+from repro.experiments import FIGURES, render_curves, render_table, run_figure
+from repro.experiments.report import FigureResult
+
+
+class TestRenderTable:
+    def test_alignment_and_rows(self):
+        text = render_table(
+            ["name", "value"], [["alpha", 1.5], ["b", 22.25]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "alpha" in lines[2]
+        # column widths consistent
+        assert len(lines[0]) == len(lines[1])
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[0.123456789]], floatfmt=".2f")
+        assert "0.12" in text
+
+
+class TestRenderCurves:
+    def test_missing_points_render_dash(self):
+        text = render_curves(
+            "load",
+            {
+                "A": [(0.1, 10.0), (0.2, 20.0)],
+                "B": [(0.1, 11.0)],  # saturated before 0.2
+            },
+        )
+        lines = text.splitlines()
+        assert any("-" in line and "0.2" in line for line in lines)
+
+    def test_x_values_union(self):
+        text = render_curves(
+            "load", {"A": [(0.1, 1.0)], "B": [(0.3, 2.0)]}
+        )
+        assert "0.1" in text and "0.3" in text
+
+
+class TestFigureRegistry:
+    def test_all_paper_experiments_registered(self):
+        expected = {"table1", "table2", "table3"} | {
+            f"fig{i:02d}" for i in range(4, 19)
+        }
+        assert expected == set(FIGURES)
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            run_figure("fig99")
+
+    def test_tables_run(self):
+        for name in ("table1", "table2", "table3"):
+            result = run_figure(name)
+            assert isinstance(result, FigureResult)
+            assert result.figure == name
+            assert result.text
+
+    def test_figure_result_str(self):
+        r = FigureResult("figX", "a title", "body")
+        assert "figX" in str(r) and "a title" in str(r)
+
+
+class TestTvlbPolicyFor:
+    def test_dense_gets_strategic(self):
+        from repro.experiments import tvlb_policy_for
+        from repro.routing.pathset import (
+            AllVlbPolicy,
+            StrategicFiveHopPolicy,
+        )
+        from repro.topology import Dragonfly
+
+        assert isinstance(
+            tvlb_policy_for(Dragonfly(4, 8, 4, 9)), StrategicFiveHopPolicy
+        )
+        assert isinstance(
+            tvlb_policy_for(Dragonfly(4, 8, 4, 33)), AllVlbPolicy
+        )

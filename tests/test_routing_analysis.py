@@ -1,0 +1,72 @@
+"""Tests for path-length analytics (the Section-3.1 motivation numbers)."""
+
+import numpy as np
+import pytest
+
+from repro.routing.analysis import (
+    expected_packet_hops,
+    mean_min_hops,
+    vlb_length_distribution,
+)
+from repro.routing.pathset import (
+    AllVlbPolicy,
+    HopClassPolicy,
+    StrategicFiveHopPolicy,
+)
+from repro.topology import Dragonfly
+from repro.traffic import Shift
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Dragonfly(4, 8, 4, 9)
+
+
+@pytest.fixture(scope="module")
+def pairs(topo):
+    demand = Shift(topo, 2, 0).demand_matrix()
+    all_pairs = list(zip(*np.nonzero(demand)))
+    return [tuple(map(int, p)) for p in all_pairs[:6]]
+
+
+class TestDistribution:
+    def test_all_vlb_distribution(self, topo, pairs):
+        stats = vlb_length_distribution(topo, AllVlbPolicy(), pairs)
+        assert set(stats.histogram) <= {2, 3, 4, 5, 6}
+        assert 5.0 < stats.mean < 6.0  # dominated by 6-hop paths
+        assert abs(sum(stats.fraction(h) for h in range(2, 7)) - 1.0) < 1e-9
+
+    def test_strategic_shortens_mean(self, topo, pairs):
+        full = vlb_length_distribution(topo, AllVlbPolicy(), pairs)
+        strat = vlb_length_distribution(
+            topo, StrategicFiveHopPolicy("2+3"), pairs
+        )
+        assert strat.mean < full.mean
+        assert strat.histogram.get(6, 0) == 0
+
+    def test_hopclass_bounds_distribution(self, topo, pairs):
+        stats = vlb_length_distribution(topo, HopClassPolicy(4), pairs)
+        assert max(stats.histogram) <= 4
+
+    def test_empty_pairs(self, topo):
+        stats = vlb_length_distribution(topo, AllVlbPolicy(), [])
+        assert stats.count == 0
+        assert np.isnan(stats.mean)
+
+
+class TestSection31Arithmetic:
+    def test_paper_example(self):
+        # 70% MIN at 3 hops, 30% VLB at 6 hops -> 3.9; at 4.8 -> 3.54
+        assert expected_packet_hops(0.7, 3, 6) == pytest.approx(3.9)
+        assert expected_packet_hops(0.7, 3, 4.8) == pytest.approx(3.54)
+        gain = 3.9 / 3.54 - 1
+        assert gain == pytest.approx(0.10, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_packet_hops(1.5, 3, 6)
+
+    def test_min_hops_inter_group(self, topo, pairs):
+        # shift(2,0) pairs are inter-group: MIN paths 1..3 hops, mostly 3
+        value = mean_min_hops(topo, pairs)
+        assert 2.0 <= value <= 3.0

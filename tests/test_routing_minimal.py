@@ -1,0 +1,67 @@
+"""Tests for MIN path computation."""
+
+import pytest
+
+from repro.routing import min_paths
+from repro.routing.minimal import min_hops_via, min_path_via
+from repro.topology import Dragonfly
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Dragonfly(4, 8, 4, 9)
+
+
+class TestMinPaths:
+    def test_same_switch_zero_hops(self, topo):
+        (p,) = min_paths(topo, 5, 5)
+        assert p.num_hops == 0
+        assert p.src == p.dst == 5
+
+    def test_same_group_single_local_hop(self, topo):
+        (p,) = min_paths(topo, 0, 3)
+        assert p.num_hops == 1
+        assert p.num_global_hops == 0
+        assert p.switches == (0, 3)
+
+    def test_inter_group_one_per_link(self, topo):
+        paths = min_paths(topo, 0, 17)
+        assert len(paths) == topo.links_per_group_pair == 4
+        for p in paths:
+            assert p.num_global_hops == 1
+            assert 1 <= p.num_hops <= 3
+            p.validate(topo)
+
+    def test_all_pairs_at_most_3_hops(self, topo):
+        switches = [0, 1, 8, 17, 35, 71]
+        for s in switches:
+            for d in switches:
+                for p in min_paths(topo, s, d):
+                    assert p.num_hops <= 3
+                    assert p.src == s and p.dst == d
+                    p.validate(topo)
+
+    def test_min_path_shortcut_when_endpoint_is_src(self, topo):
+        # Choose a link whose group-0 endpoint IS the source switch: the
+        # path then has no leading local hop.
+        link = topo.global_links_of_switch(0)[0]
+        other_group = (
+            link.group_b if link.group_a == topo.group_of(0) else link.group_a
+        )
+        dst = topo.switch_id(other_group, 0)
+        p = min_path_via(topo, 0, dst, link)
+        assert p.switches[0] == 0
+        assert p.num_hops <= 2
+        assert p.num_hops == min_hops_via(topo, 0, dst, link)
+        p.validate(topo)
+
+    def test_hops_via_matches_path(self, topo):
+        for link in topo.links_between_groups(0, 5):
+            for src in topo.switches_in_group(0):
+                for dst in topo.switches_in_group(5):
+                    p = min_path_via(topo, src, dst, link)
+                    assert p.num_hops == min_hops_via(topo, src, dst, link)
+
+    def test_min_path_count_one_link_topology(self):
+        t = Dragonfly(2, 4, 2, 9)  # one link per group pair
+        assert len(min_paths(t, 0, t.switch_id(3, 2))) == 1

@@ -1,0 +1,111 @@
+"""Tests for VLB descriptors, paths, and hop classification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import (
+    enumerate_vlb_descriptors,
+    vlb_class_counts,
+    vlb_hops,
+    vlb_path,
+)
+from repro.routing.vlb import (
+    MAX_VLB_HOPS,
+    MIN_VLB_HOPS,
+    VlbDescriptor,
+    count_vlb_paths,
+    vlb_leg_hops,
+)
+from repro.topology import Dragonfly
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Dragonfly(4, 8, 4, 9)
+
+
+class TestEnumeration:
+    def test_count_formula(self, topo):
+        # (g-2) groups x a switches x m^2 slot combinations
+        m = topo.links_per_group_pair
+        expected = (topo.g - 2) * topo.a * m * m
+        descs = list(enumerate_vlb_descriptors(topo, 0, 17))
+        assert len(descs) == expected == count_vlb_paths(topo, 0, 17)
+
+    def test_no_intermediate_in_endpoint_groups(self, topo):
+        for desc in enumerate_vlb_descriptors(topo, 0, 17):
+            gm = topo.group_of(desc.mid)
+            assert gm not in (topo.group_of(0), topo.group_of(17))
+
+    def test_descriptors_unique(self, topo):
+        descs = list(enumerate_vlb_descriptors(topo, 0, 17))
+        assert len(set(descs)) == len(descs)
+
+    def test_same_group_pair_allows_vlb(self, topo):
+        # src and dst in the same group: VLB still detours via another group
+        descs = list(enumerate_vlb_descriptors(topo, 0, 1))
+        m = topo.links_per_group_pair
+        assert len(descs) == (topo.g - 1) * topo.a * m * m
+
+
+class TestPathsAndHops:
+    def test_paths_valid_and_hop_counts_match(self, topo):
+        for desc in list(enumerate_vlb_descriptors(topo, 0, 17))[::37]:
+            p = vlb_path(topo, 0, 17, desc)
+            p.validate(topo)
+            assert p.src == 0 and p.dst == 17
+            assert p.num_hops == vlb_hops(topo, 0, 17, desc)
+            assert p.num_global_hops == 2
+
+    def test_hop_range(self, topo):
+        for desc in list(enumerate_vlb_descriptors(topo, 0, 17))[::19]:
+            assert MIN_VLB_HOPS <= vlb_hops(topo, 0, 17, desc) <= MAX_VLB_HOPS
+
+    def test_leg_hops_sum(self, topo):
+        for desc in list(enumerate_vlb_descriptors(topo, 3, 20))[::23]:
+            a, b = vlb_leg_hops(topo, 3, 20, desc)
+            assert 1 <= a <= 3 and 1 <= b <= 3
+            assert a + b == vlb_hops(topo, 3, 20, desc)
+
+    def test_class_counts_sum_to_total(self, topo):
+        counts = vlb_class_counts(topo, 0, 17)
+        assert sum(counts.values()) == count_vlb_paths(topo, 0, 17)
+        assert set(counts) <= {2, 3, 4, 5, 6}
+
+    def test_rejects_intermediate_in_endpoint_group(self, topo):
+        bad = VlbDescriptor(mid=1, slot1=0, slot2=0)  # group 0 == src group
+        with pytest.raises(ValueError, match="intermediate"):
+            vlb_path(topo, 0, 17, bad)
+
+    def test_two_hop_paths_exist_on_dense_topology(self):
+        # dfly(2,4,2,3) with the circulant arrangement: 4 links per group
+        # pair spread across switches, so some switch pairs have
+        # direct-global+direct-global VLB paths.  (The absolute arrangement
+        # packs each switch's ports toward a single peer group and has none.)
+        t = Dragonfly(2, 4, 2, 3, arrangement="circulant")
+        found = 0
+        for s in range(t.num_switches):
+            for d in range(t.num_switches):
+                if s == d:
+                    continue
+                counts = vlb_class_counts(t, s, d)
+                found += counts.get(2, 0)
+        assert found > 0
+
+
+class TestVlbProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        src=st.integers(min_value=0, max_value=35),
+        dst=st.integers(min_value=0, max_value=35),
+    )
+    def test_random_pairs_on_small_topology(self, src, dst):
+        t = Dragonfly(2, 4, 2, 9)
+        if src == dst:
+            return
+        for desc in list(enumerate_vlb_descriptors(t, src, dst))[::5]:
+            p = vlb_path(t, src, dst, desc)
+            p.validate(t)
+            assert p.num_global_hops == 2
+            assert p.src == src and p.dst == dst

@@ -1,0 +1,88 @@
+"""Tests for multi-seed replication and the multi-candidate UGAL option."""
+
+import pytest
+
+from repro.sim import SimParams, replicate, replicated_curve, simulate
+from repro.topology import Dragonfly
+from repro.traffic import RandomPermutation, Shift, UniformRandom
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Dragonfly(2, 4, 2, 9)
+
+
+@pytest.fixture(scope="module")
+def fast():
+    return SimParams(window_cycles=150)
+
+
+class TestReplicate:
+    def test_mean_and_sem(self, topo, fast):
+        stats = replicate(
+            topo,
+            lambda seed: UniformRandom(topo),
+            0.15,
+            params=fast,
+            seeds=range(4),
+        )
+        assert stats["latency"].n == 4
+        assert stats["latency"].sem > 0
+        assert 20 < stats["latency"].mean < 120
+        assert stats["accepted"].mean == pytest.approx(0.15, rel=0.2)
+
+    def test_pattern_factory_receives_seed(self, topo, fast):
+        seen = []
+
+        def factory(seed):
+            seen.append(seed)
+            return RandomPermutation(topo, seed=seed)
+
+        replicate(topo, factory, 0.1, params=fast, seeds=[3, 5])
+        assert seen == [3, 5]
+
+    def test_single_seed_zero_sem(self, topo, fast):
+        stats = replicate(
+            topo, lambda s: UniformRandom(topo), 0.1,
+            params=fast, seeds=[0],
+        )
+        assert stats["latency"].sem == 0.0
+
+    def test_curve_shape(self, topo, fast):
+        curve = replicated_curve(
+            topo,
+            lambda s: UniformRandom(topo),
+            [0.05, 0.15],
+            params=fast,
+            seeds=range(2),
+        )
+        assert [load for load, _ in curve] == [0.05, 0.15]
+        for _load, stats in curve:
+            assert set(stats) == {"latency", "accepted", "hops",
+                                  "vlb_fraction"}
+
+
+class TestMultiCandidateUgal:
+    def test_candidate_count_validation(self):
+        with pytest.raises(ValueError, match="candidate counts"):
+            SimParams(vlb_candidates=0)
+
+    def test_more_vlb_candidates_not_worse(self, topo):
+        # with 4 VLB candidates per decision, UGAL-L picks the least
+        # congested; under adversarial traffic this should not hurt
+        pattern = Shift(topo, 2, 0)
+        p1 = SimParams(window_cycles=200, vlb_candidates=1)
+        p4 = SimParams(window_cycles=200, vlb_candidates=4)
+        base = simulate(topo, pattern, 0.25, routing="ugal-l",
+                        params=p1, seed=3)
+        multi = simulate(topo, pattern, 0.25, routing="ugal-l",
+                         params=p4, seed=3)
+        assert multi.accepted_rate >= 0.9 * base.accepted_rate
+        assert multi.avg_latency <= base.avg_latency * 1.3
+
+    def test_more_min_candidates_run(self, topo):
+        pattern = Shift(topo, 2, 0)
+        params = SimParams(window_cycles=150, min_candidates=3)
+        r = simulate(topo, pattern, 0.15, routing="ugal-l",
+                     params=params, seed=1)
+        assert r.packets_measured > 0

@@ -1,0 +1,104 @@
+"""Edge cases of the sweep harness and stats records."""
+
+import math
+
+import pytest
+
+from repro.sim import LoadSweep, SimParams, saturation_throughput, simulate
+from repro.sim.stats import SimResult, StatsCollector
+from repro.topology import Dragonfly
+from repro.traffic import Shift, UniformRandom
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Dragonfly(2, 4, 2, 9)
+
+
+class TestLoadSweepRecord:
+    def test_empty_sweep(self):
+        sweep = LoadSweep(routing="ugal-l", policy_label="all VLB")
+        assert sweep.saturation_throughput() == 0.0
+        assert sweep.loads == []
+        assert sweep.rows() == []
+
+    def test_rows_and_properties(self, topo):
+        params = SimParams(window_cycles=100)
+        r1 = simulate(topo, UniformRandom(topo), 0.1, params=params, seed=1)
+        sweep = LoadSweep(routing="ugal-l", policy_label="x", results=[r1])
+        (row,) = sweep.rows()
+        assert row[0] == 0.1
+        assert sweep.loads == [0.1]
+        assert sweep.latencies == [r1.avg_latency]
+
+
+class TestSaturationSearch:
+    def test_hi_not_saturated_short_circuits(self, topo):
+        # light pattern that never saturates in the probed range
+        params = SimParams(window_cycles=100)
+        thr = saturation_throughput(
+            topo,
+            UniformRandom(topo),
+            routing="ugal-l",
+            params=params,
+            seed=1,
+            lo=0.02,
+            hi=0.1,
+            max_iters=1,
+        )
+        assert thr == pytest.approx(0.1, rel=0.25)
+
+    def test_lo_saturated_returns_zero(self, topo):
+        params = SimParams(window_cycles=100)
+        thr = saturation_throughput(
+            topo,
+            Shift(topo, 1, 0),
+            routing="min",
+            params=params,
+            seed=1,
+            lo=0.5,  # already far above MIN's ADV capacity
+            hi=0.9,
+            max_iters=1,
+        )
+        assert thr == 0.0
+
+
+class TestStatsCollector:
+    def test_warmup_packets_excluded(self):
+        stats = StatsCollector(num_nodes=10, warmup_cycles=100)
+
+        class P:
+            inject_cycle = 0
+            path_hops = 3
+            used_vlb = False
+
+        stats.record_ejection(P(), 50)  # warmup: ignored
+        stats.record_ejection(P(), 150)  # measured
+        assert stats.ejected == 1
+
+    def test_empty_result_is_saturated(self):
+        stats = StatsCollector(num_nodes=10, warmup_cycles=0)
+        res = stats.result(
+            offered_load=0.5, measure_cycles=100, sat_latency=500.0
+        )
+        assert res.saturated
+        assert math.isinf(res.avg_latency)
+        assert res.accepted_rate == 0.0
+
+    def test_live_fraction_scales_saturation_check(self):
+        stats = StatsCollector(num_nodes=10, warmup_cycles=0)
+
+        class P:
+            inject_cycle = 0
+            path_hops = 1
+            used_vlb = False
+
+        # 50 packets over 100 cycles x 10 nodes = 0.05 accepted
+        for _ in range(50):
+            stats.record_ejection(P(), 10)
+        # offered 0.1 but only half the nodes live -> effective 0.05: OK
+        ok = stats.result(0.1, 100, 500.0, live_fraction=0.5)
+        assert not ok.saturated
+        # with all nodes live the same acceptance is half the offer: SAT
+        sat = stats.result(0.1, 100, 500.0, live_fraction=1.0)
+        assert sat.saturated

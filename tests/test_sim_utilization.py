@@ -1,0 +1,76 @@
+"""Tests for the channel-utilization instrumentation."""
+
+import pytest
+
+from repro.routing.pathset import StrategicFiveHopPolicy
+from repro.sim import SimParams, simulate
+from repro.topology import Dragonfly
+from repro.traffic import Shift, UniformRandom
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Dragonfly(2, 4, 2, 9)
+
+
+@pytest.fixture(scope="module")
+def fast():
+    return SimParams(window_cycles=200)
+
+
+class TestUtilization:
+    def test_fields_present_and_bounded(self, topo, fast):
+        r = simulate(topo, UniformRandom(topo), 0.2, params=fast, seed=1)
+        util = r.channel_utilization
+        assert set(util) == {
+            "local_mean", "local_max", "global_mean", "global_max"
+        }
+        for v in util.values():
+            assert 0.0 <= v <= 1.0 + 1e-9  # 1 flit/cycle channel capacity
+
+    def test_zero_load_zero_utilization(self, topo, fast):
+        r = simulate(topo, UniformRandom(topo), 0.0, params=fast)
+        assert r.channel_utilization["global_max"] == 0.0
+        assert r.channel_utilization["local_max"] == 0.0
+
+    def test_adversarial_min_saturates_direct_links(self, topo, fast):
+        # MIN routing under shift: the direct global channels run at ~100%
+        r = simulate(
+            topo, Shift(topo, 2, 0), 0.4, routing="min", params=fast, seed=1
+        )
+        assert r.channel_utilization["global_max"] > 0.9
+
+    def test_utilization_scales_with_load(self, topo, fast):
+        lo = simulate(topo, UniformRandom(topo), 0.1, params=fast, seed=1)
+        hi = simulate(topo, UniformRandom(topo), 0.4, params=fast, seed=1)
+        assert (
+            hi.channel_utilization["global_mean"]
+            > lo.channel_utilization["global_mean"]
+        )
+
+    def test_vlb_spreads_load_more_evenly_than_min(self, topo, fast):
+        pattern = Shift(topo, 2, 0)
+        r_min = simulate(
+            topo, pattern, 0.1, routing="min", params=fast, seed=1
+        )
+        r_vlb = simulate(
+            topo, pattern, 0.1, routing="vlb", params=fast, seed=1
+        )
+        ratio_min = r_min.channel_utilization["global_max"] / max(
+            r_min.channel_utilization["global_mean"], 1e-9
+        )
+        ratio_vlb = r_vlb.channel_utilization["global_max"] / max(
+            r_vlb.channel_utilization["global_mean"], 1e-9
+        )
+        assert ratio_vlb < ratio_min
+
+    def test_tvlb_balanced_on_dense_topology(self, fast):
+        # T-VLB keeps global channels reasonably balanced (the property
+        # the Step-2 balance check protects)
+        topo = Dragonfly(2, 4, 2, 3)
+        r = simulate(
+            topo, Shift(topo, 1, 0), 0.2, routing="t-ugal-l",
+            policy=StrategicFiveHopPolicy("2+3"), params=fast, seed=1,
+        )
+        util = r.channel_utilization
+        assert util["global_max"] <= 6 * max(util["global_mean"], 1e-9)

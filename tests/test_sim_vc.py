@@ -1,0 +1,101 @@
+"""Tests for VC allocation schemes."""
+
+import pytest
+
+from repro.routing.paths import LOCAL_SLOT, Path
+from repro.sim.params import SimParams
+from repro.sim.vc import assign_vcs
+
+
+def _path(slots):
+    # switch ids are irrelevant for VC assignment; fabricate a chain
+    return Path(tuple(range(len(slots) + 1)), tuple(slots))
+
+
+L = LOCAL_SLOT
+
+
+class TestWonScheme:
+    def test_min_path(self):
+        # local, global, local -> vcs 0, 0, 1
+        assert assign_vcs(_path([L, 0, L]), "won") == [0, 0, 1]
+
+    def test_vlb_six_hop(self):
+        # l g l l g l -> 0 0 1 1 1 2
+        vcs = assign_vcs(_path([L, 0, L, L, 0, L]), "won")
+        assert vcs == [0, 0, 1, 1, 1, 2]
+        assert max(vcs) < SimParams().vcs_required("ugal-l")
+
+    def test_global_only(self):
+        assert assign_vcs(_path([0, 0]), "won") == [0, 1]
+
+    def test_revised_fragment_shifted(self):
+        vcs = assign_vcs(_path([L, 0, L, 0, L]), "won", revised=True)
+        assert vcs == [1, 1, 2, 2, 3]
+        assert max(vcs) < SimParams().vcs_required("par")
+
+    def test_vc_never_decreases(self):
+        for slots in ([L, 0, L, 0, L], [0, L, 0], [L, 0, 1, L]):
+            vcs = assign_vcs(_path(slots), "won")
+            assert vcs == sorted(vcs)
+
+
+class TestPerhopScheme:
+    def test_one_vc_per_hop(self):
+        vcs = assign_vcs(_path([L, 0, L, L, 0, L]), "perhop")
+        assert vcs == [0, 1, 2, 3, 4, 5]
+        assert max(vcs) < SimParams(vc_scheme="perhop").vcs_required("ugal-g")
+
+    def test_offset_for_revision(self):
+        vcs = assign_vcs(_path([L, 0, L]), "perhop", hop_offset=1)
+        assert vcs == [1, 2, 3]
+
+
+class TestValidation:
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown vc scheme"):
+            assign_vcs(_path([L]), "rainbow")
+
+    def test_overflow_detected(self):
+        with pytest.raises(ValueError, match="only 2"):
+            assign_vcs(_path([L, 0, L, L, 0, L]), "perhop", num_vcs=2)
+
+
+class TestParamsVcRequirements:
+    def test_table3_defaults(self):
+        p = SimParams()
+        assert p.vcs_required("ugal-l") == 4
+        assert p.vcs_required("ugal-g") == 4
+        assert p.vcs_required("par") == 5
+        assert p.vcs_required("t-par") == 5
+
+    def test_perhop_requirements(self):
+        p = SimParams(vc_scheme="perhop")
+        assert p.vcs_required("ugal-l") == 6
+        assert p.vcs_required("par") == 7
+
+    def test_explicit_override(self):
+        assert SimParams(num_vcs=9).vcs_required("ugal-l") == 9
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            SimParams(buffer_size=0)
+        with pytest.raises(ValueError):
+            SimParams(vc_scheme="other")
+        with pytest.raises(ValueError):
+            SimParams(speedup=0)
+        with pytest.raises(ValueError):
+            SimParams(local_latency=0)
+
+    def test_paper_preset(self):
+        p = SimParams.paper()
+        assert p.window_cycles == 10_000
+        assert p.buffer_size == 32
+        assert p.local_latency == 10 and p.global_latency == 15
+        assert p.warmup_cycles == 30_000
+        assert p.total_cycles == 40_000
+
+    def test_scaled(self):
+        p = SimParams.paper().scaled(500)
+        assert p.window_cycles == 500
+        assert p.buffer_size == 32

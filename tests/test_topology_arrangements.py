@@ -1,0 +1,108 @@
+"""Tests for the global link arrangements, including property-based checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import Dragonfly, validate_topology
+from repro.topology.arrangements import (
+    ARRANGEMENTS,
+    absolute_arrangement,
+    circulant_arrangement,
+    relative_arrangement,
+)
+
+
+def _valid_phag():
+    """Strategy producing (p, a, h, g) with (g-1) | a*h and sane sizes."""
+
+    def build(draw):
+        a = draw(st.integers(min_value=1, max_value=8))
+        h = draw(st.integers(min_value=1, max_value=4))
+        ports = a * h
+        divisors = [d for d in range(1, ports + 1) if ports % d == 0]
+        g = draw(st.sampled_from(divisors)) + 1
+        p = draw(st.integers(min_value=1, max_value=4))
+        return (p, a, h, g)
+
+    return st.composite(lambda draw: build(draw))()
+
+
+class TestArrangementSpecs:
+    @pytest.mark.parametrize("name", sorted(ARRANGEMENTS))
+    def test_every_port_used_exactly_once(self, name):
+        a, h, g = 4, 2, 9
+        specs = ARRANGEMENTS[name](a, h, g)
+        used = {}
+        for gi, qi, gj, qj in specs:
+            for grp, port in [(gi, qi), (gj, qj)]:
+                key = (grp, port)
+                assert key not in used, f"port {key} used twice"
+                used[key] = True
+        assert len(used) == g * a * h
+
+    @pytest.mark.parametrize("name", sorted(ARRANGEMENTS))
+    def test_m_links_per_pair(self, name):
+        a, h, g = 8, 4, 9
+        m = a * h // (g - 1)
+        specs = ARRANGEMENTS[name](a, h, g)
+        from collections import Counter
+
+        pairs = Counter((s.group_i, s.group_j) for s in specs)
+        assert all(count == m for count in pairs.values())
+        assert len(pairs) == g * (g - 1) // 2
+
+    def test_absolute_full_size_matches_kim(self):
+        # For g = a*h + 1 the absolute arrangement reduces to the classic
+        # one: port q of group i connects to group q if q < i else q + 1.
+        a, h, g = 4, 2, 9
+        for spec in absolute_arrangement(a, h, g):
+            gi, qi, gj, qj = spec
+            assert gj == (qi if qi < gi else qi + 1)
+            assert gi == (qj if qj < gj else qj + 1)
+
+    def test_relative_offset_structure(self):
+        a, h, g = 4, 2, 9
+        for gi, qi, gj, qj in relative_arrangement(a, h, g):
+            # port block o-1 of group gi points at (gi + o) mod g
+            o = qi + 1  # m == 1 here
+            assert gj == (gi + o) % g or gi == (gj + (qj + 1)) % g
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            absolute_arrangement(4, 2, 1)
+        with pytest.raises(ValueError):
+            circulant_arrangement(2, 2, 6)  # 5 does not divide 4
+        with pytest.raises(ValueError):
+            relative_arrangement(1, 1, 3)  # needs 2 ports, has 1
+
+
+class TestArrangementProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(phag=_valid_phag())
+    def test_absolute_builds_valid_topology(self, phag):
+        p, a, h, g = phag
+        validate_topology(Dragonfly(p, a, h, g, arrangement="absolute"))
+
+    @settings(max_examples=20, deadline=None)
+    @given(phag=_valid_phag())
+    def test_relative_builds_valid_topology(self, phag):
+        p, a, h, g = phag
+        validate_topology(Dragonfly(p, a, h, g, arrangement="relative"))
+
+    @settings(max_examples=20, deadline=None)
+    @given(phag=_valid_phag())
+    def test_circulant_builds_valid_topology(self, phag):
+        p, a, h, g = phag
+        validate_topology(Dragonfly(p, a, h, g, arrangement="circulant"))
+
+    @settings(max_examples=20, deadline=None)
+    @given(phag=_valid_phag())
+    def test_arrangements_agree_on_pair_multiplicity(self, phag):
+        p, a, h, g = phag
+        if g < 2:
+            return
+        m = a * h // (g - 1)
+        for name in ARRANGEMENTS:
+            t = Dragonfly(p, a, h, g, arrangement=name)
+            assert t.links_per_group_pair == m

@@ -1,0 +1,174 @@
+"""Unit tests for the Dragonfly topology and its identifier arithmetic."""
+
+import pytest
+
+from repro.topology import Dragonfly
+
+
+@pytest.fixture(scope="module")
+def small():
+    return Dragonfly(p=2, a=4, h=2, g=9)  # the paper's Figure-1 topology
+
+
+class TestSizes:
+    def test_paper_table2_g33(self):
+        t = Dragonfly(4, 8, 4, 33)
+        assert t.describe() == {
+            "PEs": 1056,
+            "switches": 264,
+            "groups": 33,
+            "links_per_group_pair": 1,
+        }
+
+    def test_paper_table2_g17(self):
+        t = Dragonfly(4, 8, 4, 17)
+        # The paper's Table 2 prints 135 switches; 17 groups x 8 switches
+        # is 136 -- the paper value is a typo.
+        assert t.describe() == {
+            "PEs": 544,
+            "switches": 136,
+            "groups": 17,
+            "links_per_group_pair": 2,
+        }
+
+    def test_paper_table2_g9(self):
+        t = Dragonfly(4, 8, 4, 9)
+        assert t.describe() == {
+            "PEs": 288,
+            "switches": 72,
+            "groups": 9,
+            "links_per_group_pair": 4,
+        }
+
+    def test_paper_table2_large(self):
+        t = Dragonfly(13, 26, 13, 27)
+        assert t.describe() == {
+            "PEs": 9126,
+            "switches": 702,
+            "groups": 27,
+            "links_per_group_pair": 13,
+        }
+
+    def test_radix_formula(self, small):
+        # p + (a-1) + h ports per switch
+        assert small.radix == 2 + 3 + 2
+
+    def test_balanced_max_size_has_one_link_per_pair(self, small):
+        # g = a*h + 1 = 9 -> exactly one link per group pair
+        assert small.links_per_group_pair == 1
+
+
+class TestIdentifiers:
+    def test_switch_group_roundtrip(self, small):
+        for sw in range(small.num_switches):
+            g = small.group_of(sw)
+            s = small.local_index(sw)
+            assert small.switch_id(g, s) == sw
+            assert 0 <= g < small.g
+            assert 0 <= s < small.a
+
+    def test_node_switch_roundtrip(self, small):
+        for n in range(small.num_nodes):
+            sw = small.switch_of_node(n)
+            assert n in small.nodes_of_switch(sw)
+
+    def test_nodes_partition(self, small):
+        seen = set()
+        for sw in range(small.num_switches):
+            nodes = set(small.nodes_of_switch(sw))
+            assert not (nodes & seen)
+            seen |= nodes
+        assert seen == set(range(small.num_nodes))
+
+    def test_switches_in_group_partition(self, small):
+        seen = set()
+        for g in range(small.g):
+            sws = set(small.switches_in_group(g))
+            assert len(sws) == small.a
+            assert not (sws & seen)
+            seen |= sws
+        assert seen == set(range(small.num_switches))
+
+
+class TestConnectivity:
+    def test_local_neighbors_complete_graph(self, small):
+        for sw in range(small.num_switches):
+            nbrs = small.local_neighbors(sw)
+            assert len(nbrs) == small.a - 1
+            assert sw not in nbrs
+            assert all(small.group_of(n) == small.group_of(sw) for n in nbrs)
+
+    def test_global_links_land_in_right_groups(self, small):
+        for ga in range(small.g):
+            for gb in range(ga + 1, small.g):
+                for link in small.links_between_groups(ga, gb):
+                    assert small.group_of(link.endpoint_in(ga)) == ga
+                    assert small.group_of(link.endpoint_in(gb)) == gb
+
+    def test_global_neighbors_symmetric(self, small):
+        for sw in range(small.num_switches):
+            for peer in small.global_neighbors(sw):
+                assert sw in small.global_neighbors(peer)
+
+    def test_every_group_reaches_every_other(self, small):
+        for g in range(small.g):
+            assert set(small.connected_groups(g)) == (
+                set(range(small.g)) - {g}
+            )
+
+    def test_link_endpoint_helpers_raise(self, small):
+        link = small.global_links[0]
+        with pytest.raises(ValueError):
+            link.endpoint_in(link.group_a + link.group_b + 1)
+        with pytest.raises(ValueError):
+            link.other_end(-1)
+
+    def test_links_between_same_group_raises(self, small):
+        with pytest.raises(ValueError):
+            small.links_between_groups(0, 0)
+
+
+class TestNetworkxExport:
+    def test_export_counts(self, small):
+        g = small.to_networkx()
+        assert g.number_of_nodes() == small.num_switches
+        local_edges = sum(
+            1 for _, _, d in g.edges(data=True) if d["kind"] == "local"
+        )
+        assert local_edges == small.g * small.a * (small.a - 1) // 2
+        global_mult = sum(
+            d["multiplicity"]
+            for _, _, d in g.edges(data=True)
+            if d["kind"] == "global"
+        )
+        assert global_mult == len(small.global_links)
+
+    def test_export_diameter_small(self, small):
+        import networkx as nx
+
+        # max-size dragonfly: any switch pair within 3 hops
+        assert nx.diameter(small.to_networkx()) <= 3
+
+
+class TestValidation:
+    def test_rejects_too_many_groups(self):
+        with pytest.raises(ValueError, match="exceeds the maximum"):
+            Dragonfly(2, 4, 2, 10)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Dragonfly(0, 4, 2, 3)
+
+    def test_rejects_unknown_arrangement(self):
+        with pytest.raises(ValueError, match="unknown arrangement"):
+            Dragonfly(2, 4, 2, 3, arrangement="banyan")
+
+    def test_rejects_nondivisible_groups(self):
+        # a*h = 8 ports, g-1 = 5 peers -> not divisible
+        with pytest.raises(ValueError, match="divide evenly"):
+            Dragonfly(2, 4, 2, 6)
+
+    def test_single_group_has_no_global_links(self):
+        t = Dragonfly(2, 4, 2, 1)
+        assert t.global_links == []
+        assert t.links_per_group_pair == 0

@@ -1,0 +1,225 @@
+"""Tests for traffic patterns and their demand matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import Dragonfly
+from repro.traffic import (
+    NO_TRAFFIC,
+    GroupSwitchPermutation,
+    Mixed,
+    RandomPermutation,
+    Shift,
+    TimeMixed,
+    UniformRandom,
+    type_1_set,
+    type_2_set,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Dragonfly(2, 4, 2, 9)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestUniformRandom:
+    def test_never_self(self, topo, rng):
+        ur = UniformRandom(topo)
+        srcs = np.arange(topo.num_nodes)
+        for _ in range(20):
+            dests = ur.sample_destinations(srcs, rng)
+            assert np.all(dests != srcs)
+            assert np.all((0 <= dests) & (dests < topo.num_nodes))
+
+    def test_covers_all_destinations(self, topo, rng):
+        ur = UniformRandom(topo)
+        srcs = np.zeros(5000, dtype=int)
+        dests = ur.sample_destinations(srcs, rng)
+        assert set(dests) == set(range(1, topo.num_nodes))
+
+    def test_demand_matrix_uniform_off_diagonal(self, topo):
+        d = UniformRandom(topo).demand_matrix()
+        assert np.all(np.diag(d) == 0)
+        off = d[~np.eye(len(d), dtype=bool)]
+        assert np.allclose(off, off[0])
+        # total network demand: each node emits 1 minus same-switch share
+        per_node_same_switch = (topo.p - 1) / (topo.num_nodes - 1)
+        expected_total = topo.num_nodes * (1 - per_node_same_switch)
+        assert d.sum() == pytest.approx(expected_total)
+
+
+class TestShift:
+    def test_shift_formula(self, topo, rng):
+        sh = Shift(topo, dg=2, ds=1)
+        src = topo.node_id(topo.switch_id(3, 2), 1)  # (g=3, s=2, k=1)
+        (dest,) = sh.sample_destinations(np.array([src]), rng)
+        assert dest == topo.node_id(topo.switch_id(5, 3), 1)
+
+    def test_shift_is_permutation(self, topo, rng):
+        sh = Shift(topo, dg=1, ds=0)
+        srcs = np.arange(topo.num_nodes)
+        dests = sh.sample_destinations(srcs, rng)
+        assert sorted(dests) == list(srcs)
+
+    def test_adv_concentrates_on_one_group_pair(self, topo):
+        sh = Shift(topo, dg=2, ds=0)
+        d = sh.demand_matrix()
+        for s in range(topo.num_switches):
+            dst_row = np.flatnonzero(d[s])
+            assert len(dst_row) == 1
+            (dst,) = dst_row
+            assert topo.group_of(dst) == (topo.group_of(s) + 2) % topo.g
+            assert topo.local_index(dst) == topo.local_index(s)
+            assert d[s, dst] == topo.p
+
+    def test_shift_zero_is_no_traffic(self, topo, rng):
+        sh = Shift(topo, 0, 0)
+        dests = sh.sample_destinations(np.arange(topo.num_nodes), rng)
+        assert np.all(dests == NO_TRAFFIC)
+        assert sh.demand_matrix().sum() == 0
+
+    def test_rejects_out_of_range(self, topo):
+        with pytest.raises(ValueError):
+            Shift(topo, topo.g, 0)
+        with pytest.raises(ValueError):
+            Shift(topo, 1, topo.a)
+
+    @settings(max_examples=20, deadline=None)
+    @given(dg=st.integers(0, 8), ds=st.integers(0, 3))
+    def test_all_shifts_are_permutations_or_empty(self, dg, ds):
+        t = Dragonfly(2, 4, 2, 9)
+        sh = Shift(t, dg, ds)
+        dest = sh.dest_map
+        live = dest[dest != NO_TRAFFIC]
+        assert len(set(live)) == len(live)
+
+
+class TestRandomPermutation:
+    def test_is_permutation_modulo_fixed_points(self, topo):
+        perm = RandomPermutation(topo, seed=3)
+        dest = perm.dest_map
+        live = dest[dest != NO_TRAFFIC]
+        assert len(set(live)) == len(live)
+
+    def test_no_self_sends(self, topo):
+        perm = RandomPermutation(topo, seed=3)
+        dest = perm.dest_map
+        idx = np.arange(len(dest))
+        assert not np.any(dest == idx)
+
+    def test_seed_determinism(self, topo):
+        a = RandomPermutation(topo, seed=5).dest_map
+        b = RandomPermutation(topo, seed=5).dest_map
+        c = RandomPermutation(topo, seed=6).dest_map
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_demand_counts_nodes(self, topo):
+        perm = RandomPermutation(topo, seed=1)
+        d = perm.demand_matrix()
+        live = perm.dest_map != NO_TRAFFIC
+        cross_switch = sum(
+            1
+            for n in np.flatnonzero(live)
+            if topo.switch_of_node(n)
+            != topo.switch_of_node(perm.dest_map[n])
+        )
+        assert d.sum() == cross_switch
+
+
+class TestGroupSwitchPermutation:
+    def test_group_level_derangement(self, topo):
+        pat = GroupSwitchPermutation(topo, seed=11)
+        gp = pat.group_perm
+        assert sorted(gp) == list(range(topo.g))
+        assert not np.any(gp == np.arange(topo.g))
+
+    def test_switch_level_permutation_per_group(self, topo):
+        pat = GroupSwitchPermutation(topo, seed=11)
+        dest = pat.dest_map
+        for g in range(topo.g):
+            for s in range(topo.a):
+                src = topo.node_id(topo.switch_id(g, s), 0)
+                d = dest[src]
+                assert topo.group_of(topo.switch_of_node(d)) == pat.group_perm[g]
+                assert d % topo.p == 0  # node index preserved
+
+    def test_is_full_permutation(self, topo):
+        dest = GroupSwitchPermutation(topo, seed=2).dest_map
+        assert sorted(dest) == list(range(topo.num_nodes))
+
+
+class TestMixed:
+    def test_role_split_counts(self, topo):
+        mx = Mixed(topo, 25, 75, seed=1)
+        assert mx.is_ur.sum() == round(topo.num_nodes * 0.25)
+
+    def test_adv_nodes_follow_shift(self, topo, rng):
+        mx = Mixed(topo, 50, 50, seed=1)
+        srcs = np.flatnonzero(~mx.is_ur)
+        dests = mx.sample_destinations(srcs, rng)
+        expected = Shift(topo, 1, 0).dest_map[srcs]
+        assert np.array_equal(dests, expected)
+
+    def test_ur_nodes_vary(self, topo, rng):
+        mx = Mixed(topo, 100, 0, seed=1)
+        srcs = np.arange(topo.num_nodes)
+        d1 = mx.sample_destinations(srcs, rng)
+        d2 = mx.sample_destinations(srcs, rng)
+        assert not np.array_equal(d1, d2)
+
+    def test_percent_validation(self, topo):
+        with pytest.raises(ValueError):
+            Mixed(topo, 30, 30)
+        with pytest.raises(ValueError):
+            TimeMixed(topo, -10, 110)
+
+    def test_demand_interpolates(self, topo):
+        full_adv = Mixed(topo, 0, 100, seed=1).demand_matrix()
+        assert np.allclose(full_adv, Shift(topo, 1, 0).demand_matrix())
+        full_ur = Mixed(topo, 100, 0, seed=1).demand_matrix()
+        assert np.allclose(full_ur, UniformRandom(topo).demand_matrix())
+
+
+class TestTimeMixed:
+    def test_per_packet_mixing(self, topo, rng):
+        tm = TimeMixed(topo, 50, 50)
+        src = topo.node_id(0, 0)
+        srcs = np.full(4000, src)
+        dests = tm.sample_destinations(srcs, rng)
+        adv_dest = Shift(topo, 1, 0).dest_map[src]
+        frac_adv = np.mean(dests == adv_dest)
+        assert 0.4 < frac_adv < 0.6
+
+    def test_demand_is_convex_combination(self, topo):
+        tm = TimeMixed(topo, 50, 50)
+        expected = 0.5 * UniformRandom(topo).demand_matrix() + 0.5 * Shift(
+            topo, 1, 0
+        ).demand_matrix()
+        assert np.allclose(tm.demand_matrix(), expected)
+
+
+class TestAdversarialSuites:
+    def test_type1_count(self, topo):
+        pats = type_1_set(topo)
+        assert len(pats) == (topo.g - 1) * topo.a
+        labels = {p.describe() for p in pats}
+        assert len(labels) == len(pats)
+
+    def test_type2_count_and_seeds(self, topo):
+        pats = type_2_set(topo, count=5, seed=100)
+        assert len(pats) == 5
+        maps = [tuple(p.dest_map) for p in pats]
+        assert len(set(maps)) == 5
+
+    def test_describe_labels(self, topo):
+        assert Shift(topo, 1, 0).describe() == "shift(1,0)"
+        assert "MIXED(25,75" in Mixed(topo, 25, 75).describe()
+        assert "TMIXED(50,50" in TimeMixed(topo, 50, 50).describe()

@@ -1,0 +1,117 @@
+"""Tests for trace-driven traffic replay."""
+
+import numpy as np
+import pytest
+
+from repro.sim import SimParams, simulate
+from repro.topology import Dragonfly
+from repro.traffic import Shift, UniformRandom
+from repro.traffic.trace import (
+    TraceTraffic,
+    load_trace,
+    save_trace,
+    synthetic_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Dragonfly(2, 4, 2, 9)
+
+
+class TestTraceBasics:
+    def test_events_sorted_and_queried(self, topo):
+        trace = TraceTraffic(
+            topo, [(5, 0, 9), (1, 2, 3), (5, 4, 8)]
+        )
+        assert trace.injections_at(1) == [(2, 3)]
+        assert sorted(trace.injections_at(5)) == [(0, 9), (4, 8)]
+        assert trace.injections_at(2) == []
+
+    def test_validation(self, topo):
+        with pytest.raises(ValueError, match="negative cycle"):
+            TraceTraffic(topo, [(-1, 0, 1)])
+        with pytest.raises(ValueError, match="outside"):
+            TraceTraffic(topo, [(0, 0, topo.num_nodes)])
+
+    def test_demand_matrix_counts(self, topo):
+        trace = TraceTraffic(topo, [(0, 0, 9), (1, 0, 9)])
+        demand = trace.demand_matrix()
+        s = topo.switch_of_node(0)
+        d = topo.switch_of_node(9)
+        assert demand[s, d] == pytest.approx(1.0)  # 2 packets over 2 cycles
+        assert demand.sum() == pytest.approx(1.0)
+
+    def test_describe(self, topo):
+        assert TraceTraffic(topo, [(0, 0, 1)]).describe() == "trace(1 events)"
+
+
+class TestSyntheticTrace:
+    def test_rate_matches_request(self, topo):
+        trace = synthetic_trace(
+            topo, UniformRandom(topo), load=0.2, cycles=500, seed=3
+        )
+        rate = len(trace.events) / (500 * topo.num_nodes)
+        assert rate == pytest.approx(0.2, rel=0.1)
+
+    def test_respects_pattern(self, topo):
+        shift = Shift(topo, 2, 0)
+        trace = synthetic_trace(topo, shift, load=0.3, cycles=100, seed=1)
+        dest = shift.dest_map
+        assert all(dst == dest[src] for _c, src, dst in trace.events)
+
+    def test_load_validation(self, topo):
+        with pytest.raises(ValueError):
+            synthetic_trace(topo, UniformRandom(topo), 1.2, 10)
+
+
+class TestSimulationReplay:
+    def test_trace_drives_engine(self, topo):
+        params = SimParams(window_cycles=150)
+        trace = synthetic_trace(
+            topo, Shift(topo, 2, 0), load=0.1,
+            cycles=params.total_cycles, seed=5,
+        )
+        r = simulate(topo, trace, 0.1, routing="ugal-l",
+                     params=params, seed=5)
+        assert r.packets_measured > 0
+        assert r.avg_latency < 200
+
+    def test_replay_is_deterministic_across_runs(self, topo):
+        params = SimParams(window_cycles=120)
+        trace = synthetic_trace(
+            topo, UniformRandom(topo), load=0.1,
+            cycles=params.total_cycles, seed=9,
+        )
+        a = simulate(topo, trace, 0.1, params=params, seed=1)
+        b = simulate(topo, trace, 0.1, params=params, seed=1)
+        assert a.avg_latency == b.avg_latency
+        assert a.packets_measured == b.packets_measured
+
+    def test_empty_trace(self, topo):
+        params = SimParams(window_cycles=100)
+        r = simulate(topo, TraceTraffic(topo, []), 0.0, params=params)
+        assert r.packets_measured == 0
+
+
+class TestTraceIO:
+    def test_roundtrip(self, topo, tmp_path):
+        trace = synthetic_trace(
+            topo, UniformRandom(topo), 0.1, cycles=50, seed=2
+        )
+        path = tmp_path / "t.trace"
+        save_trace(trace, str(path))
+        back = load_trace(topo, str(path))
+        assert back.events == trace.events
+
+    def test_bad_line_rejected(self, topo, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("1 2\n")
+        with pytest.raises(ValueError, match="expected"):
+            load_trace(topo, str(path))
+
+    def test_comments_skipped(self, topo, tmp_path):
+        path = tmp_path / "ok.trace"
+        path.write_text("# header\n\n3 1 2\n")
+        back = load_trace(topo, str(path))
+        assert back.events == [(3, 1, 2)]
