@@ -8,6 +8,7 @@ Commands:
 * ``model``  -- LP modeled throughput for a pattern and candidate set
 * ``sim``    -- one simulation run at a fixed load
 * ``tvlb``   -- run Algorithm 1 and print the chosen T-VLB
+* ``verify`` -- static deadlock-freedom certification + path-set lint
 * ``figure`` -- regenerate one of the paper's tables/figures
 
 Specification mini-languages:
@@ -184,7 +185,7 @@ def _cmd_sim(args) -> int:
         if args.routing.startswith("t-") or args.policy
         else None
     )
-    params = SimParams(window_cycles=args.window)
+    params = SimParams(window_cycles=args.window, verify=args.verify)
     res = simulate(
         topo,
         pattern,
@@ -222,6 +223,35 @@ def _cmd_tvlb(args) -> int:
     if args.save:
         save_policy(res.policy, args.save)
         print(f"[saved T-VLB policy to {args.save}]")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.verify import verify_config
+
+    topo = parse_topology(args.topology, args.arrangement)
+    policy = parse_policy(args.policy)
+    rules = args.rules.split(",") if args.rules else None
+    try:
+        report = verify_config(
+            topo,
+            policy,
+            scheme=args.vc_scheme,
+            routing=args.routing,
+            num_vcs=args.num_vcs,
+            seed=args.seed,
+            rules=rules,
+            run_cdg=not args.no_cdg,
+            run_lint=not args.no_lint,
+            max_pairs=args.pairs,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(report.to_json() if args.json else report.to_text())
+    if not report.passed:
+        return 1
+    if args.strict and report.warnings:
+        return 1
     return 0
 
 
@@ -280,6 +310,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--load", type=float, default=0.1)
     p.add_argument("--window", type=int, default=300)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--verify", action="store_true",
+                   help="statically verify the configuration before "
+                        "simulating (repro.verify pre-flight gate)")
     p.set_defaults(func=_cmd_sim)
 
     p = sub.add_parser("tvlb", help="run Algorithm 1")
@@ -289,6 +322,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--save", default=None,
                    help="write the chosen policy to this JSON file")
     p.set_defaults(func=_cmd_tvlb)
+
+    p = sub.add_parser(
+        "verify", help="static deadlock-freedom + path-set verification"
+    )
+    topo_args(p)
+    p.add_argument("--policy", default=None,
+                   help="path policy to verify (default: all VLB)")
+    p.add_argument("--routing", default="par",
+                   help="routing whose dependencies to model (default par; "
+                        "par adds revised-fragment dependencies)")
+    p.add_argument("--vc-scheme", default="won",
+                   choices=["won", "perhop", "none"],
+                   help="VC allocation to verify ('none' = no VC "
+                        "protection, analysis only)")
+    p.add_argument("--num-vcs", type=int, default=None,
+                   help="VC count to lint against (default: the scheme's "
+                        "requirement for this routing and topology)")
+    p.add_argument("--rules", default=None,
+                   help="comma-separated subset of lint rules to run")
+    p.add_argument("--no-cdg", action="store_true",
+                   help="skip the channel-dependency-graph analysis")
+    p.add_argument("--no-lint", action="store_true",
+                   help="skip the path-set lint rules")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on warnings too")
+    p.add_argument("--pairs", type=int, default=40,
+                   help="switch pairs sampled by the linter (default 40)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON")
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("figure", help="regenerate a paper table/figure")
     p.add_argument("name", help="e.g. table2, fig06")

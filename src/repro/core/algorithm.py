@@ -23,8 +23,8 @@ VLB set, reproducing the paper's "T-UGAL converges with UGAL" result.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,6 +43,9 @@ from repro.sim.sweep import latency_vs_load
 from repro.topology.dragonfly import Dragonfly
 from repro.traffic.adversarial import type_1_set, type_2_set
 from repro.traffic.patterns import Shift
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.verify.report import VerifyReport
 
 __all__ = [
     "CandidateEval",
@@ -74,6 +77,8 @@ class TvlbResult:
     sweep: List[SweepPoint]
     candidates: List[CandidateEval]
     converged_to_ugal: bool  # True when the full VLB set won
+    # static verification of the winning set (None when verify=False)
+    verify_report: Optional["VerifyReport"] = None
 
     def describe(self) -> str:
         return self.label
@@ -178,6 +183,7 @@ def compute_tvlb(
     sim_params: Optional[SimParams] = None,
     max_descriptors: Optional[int] = 2000,
     balance: bool = True,
+    verify: bool = True,
     seed: int = 0,
     datapoints: Optional[Sequence[HopClassPolicy]] = None,
 ) -> TvlbResult:
@@ -189,6 +195,11 @@ def compute_tvlb(
     Step-2 evaluation.  Paper-scale behaviour: ``step=0.1``,
     ``num_type1=None``, ``num_type2=20``, and a ``simulation_evaluator``
     built from ``SimParams.paper()``.
+
+    Unless ``verify=False``, the winning path set is statically verified
+    (``repro.verify``: deadlock-freedom certification under PAR plus the
+    path-set lint) before being returned; a failed verification raises
+    ``RuntimeError`` so a broken set can never reach the simulator.
     """
     rng = np.random.default_rng(seed)
 
@@ -270,10 +281,28 @@ def compute_tvlb(
 
     best = max(evaluated, key=lambda c: c.score)
     converged = isinstance(best.policy, AllVlbPolicy)
+
+    # ---- finalize: assert the winner is statically sound ----
+    verify_report: Optional["VerifyReport"] = None
+    if verify:
+        from repro.verify import verify_config
+
+        scheme = (sim_params or SimParams()).vc_scheme
+        # verify under PAR: its dependency set (revised fragments, one VC
+        # level up) is a superset of every UGAL variant's
+        verify_report = verify_config(
+            topo, best.policy, scheme=scheme, routing="par", seed=seed
+        )
+        if not verify_report.passed:
+            raise RuntimeError(
+                "Algorithm 1 selected a T-VLB set that fails static "
+                f"verification:\n{verify_report.to_text()}"
+            )
     return TvlbResult(
         policy=best.policy,
         label=best.label,
         sweep=sweep,
         candidates=evaluated,
         converged_to_ugal=converged,
+        verify_report=verify_report,
     )

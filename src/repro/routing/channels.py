@@ -33,6 +33,11 @@ class ChannelIndex:
         self.num_global = 2 * len(topo.global_links)
 
     def _add(self, ch: Channel) -> None:
+        if ch in self._index:
+            raise ValueError(
+                f"duplicate channel registration: {ch} is already index "
+                f"{self._index[ch]}"
+            )
         self._index[ch] = len(self._channels)
         self._channels.append(ch)
 

@@ -36,7 +36,7 @@ def build_network(
     """Construct a :class:`Network` sized for the routing variant's VCs."""
     name = routing_variant.lower()
     base = name[2:] if name.startswith("t-") else name
-    num_vcs = params.vcs_required(base)
+    num_vcs = params.vcs_required(base, topo.max_local_hops)
     return Network(topo, params, num_vcs)
 
 
@@ -69,6 +69,26 @@ def simulate(
     params = params if params is not None else SimParams()
 
     network = build_network(topo, params, routing)
+    if params.verify:
+        # static pre-flight gate: certify deadlock freedom and path-set
+        # invariants before burning cycles on a broken configuration
+        from repro.verify import verify_config
+
+        base = routing.lower()
+        base = base[2:] if base.startswith("t-") else base
+        report = verify_config(
+            topo,
+            policy,
+            scheme=params.vc_scheme,
+            routing=base,
+            num_vcs=network.num_vcs,
+            seed=seed,
+        )
+        if not report.passed:
+            raise RuntimeError(
+                "static verification failed for this simulation "
+                f"configuration:\n{report.to_text()}"
+            )
     rng = np.random.default_rng(seed)
     algo = make_routing(network, routing, policy=policy, rng=rng)
     stats = StatsCollector(topo.num_nodes, params.warmup_cycles)

@@ -43,6 +43,10 @@ class SimParams:
     # them uniformly (an unbiased approximation that removes path
     # construction from the simulator hot loop).  0 disables the cache.
     vlb_cache_per_pair: int = 128
+    # statically verify the (topology, path set, VC scheme) configuration
+    # with repro.verify before running the engine; a failed verification
+    # raises instead of simulating a broken configuration
+    verify: bool = False
 
     # --- measurement (paper: 3 x 10000 warmup + 10000 measurement) ---
     warmup_windows: int = 3
@@ -80,19 +84,29 @@ class SimParams:
     def total_cycles(self) -> int:
         return (self.warmup_windows + self.measure_windows) * self.window_cycles
 
-    def vcs_required(self, routing: str) -> int:
+    def vcs_required(self, routing: str, max_local_hops: int = 1) -> int:
         """VCs needed by a routing variant under this VC scheme.
 
         Matches the paper: the Won et al. allocation uses 4 VCs for
         UGAL-L/UGAL-G and 5 for PAR; the per-hop allocation (routing(6))
-        uses one VC per hop of the longest path.
+        uses one VC per hop of the longest path.  ``max_local_hops`` is the
+        topology's worst intra-group distance (1 for fully connected
+        groups); sparser groups (e.g. the Cascade 2D all-to-all, 2) chain
+        more consecutive local hops per group visit, and both schemes need
+        extra levels to keep every path's VC sequence deadlock-free.
         """
         if self.num_vcs > 0:
             return self.num_vcs
         par = routing in ("par", "t-par")
+        mlh = max_local_hops
         if self.vc_scheme == "won":
-            return 5 if par else 4
-        return 7 if par else 6
+            # levels = 2 global hops + worst-case chained local hops
+            # (src run: mlh-1, merged mid-group run: 2*mlh-1, dst run:
+            # mlh-1), zero-based; PAR revision shifts everything up one
+            base = 2 + (4 * mlh - 3) + 1
+            return base + 1 if par else base
+        longest = 2 * (2 * mlh + 1)  # max VLB hops on this topology
+        return longest + 1 if par else longest
 
     @classmethod
     def paper(cls, **overrides) -> "SimParams":

@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-import numpy as np
 
 from repro.routing.pathset import PathPolicy
 from repro.sim.engine import simulate

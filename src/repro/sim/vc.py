@@ -5,10 +5,19 @@ non-decreasing along every path, increasing across the hops that could
 otherwise close a cyclic channel dependency:
 
 * ``won`` (the paper's default, "routing(4)" in Fig. 18, after Won et al.
-  HPCA'15): the VC index equals the number of *global* hops already taken,
-  plus one if the packet went through a PAR revision (the extra source-group
-  hop).  A fully-connected group never chains two local hops in one visit,
-  so levels 0..2 suffice for VLB and 0..3 for revised PAR paths.
+  HPCA'15): the VC index equals the number of *global* hops already taken
+  plus the number of *chained* local hops (a local hop directly following
+  another local hop), plus one if the packet went through a PAR revision
+  (the extra source-group hop).  The chained-local term matters because the
+  paper's VLB paths route through an intermediate *switch*: a 6-hop path
+  ``l g l l g l`` visits the intermediate group with two consecutive local
+  hops, and without the bump those two hops would share a VC level --
+  three such paths can close a cyclic dependency among one group's local
+  channels (see ``repro.verify.cdg``, which certifies the fixed scheme).
+  With the bump, the key ``(vc, local<global)`` strictly increases along
+  every path, so the channel dependency graph is provably acyclic, and the
+  scheme uses exactly the paper's budget: VC levels 0..3 for UGAL (4 VCs)
+  and 0..4 for PAR-revised fragments (5 VCs) on fully connected groups.
 * ``perhop`` ("routing(6)"): a fresh VC every hop -- simple, but needs as
   many VCs as the longest path and leaves fewer buffers per VC for a fixed
   total, which is why Fig. 18 shows it trading off against ``routing(4)``.
@@ -16,11 +25,21 @@ otherwise close a cyclic channel dependency:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 from repro.routing.paths import LOCAL_SLOT, Path
 
 __all__ = ["assign_vcs"]
+
+
+def _checked(vc: int, hop: int, scheme: str, num_vcs: int) -> int:
+    """Fail fast, naming the offending hop, when a VC index overflows."""
+    if vc >= num_vcs:
+        raise ValueError(
+            f"hop {hop}: path needs VC {vc} but only {num_vcs} are "
+            f"configured (scheme {scheme!r})"
+        )
+    return vc
 
 
 def assign_vcs(
@@ -35,25 +54,29 @@ def assign_vcs(
 
     ``hop_offset`` is the number of hops already taken before this path
     fragment starts (PAR revision re-routes mid-flight); ``revised`` marks
-    a post-revision fragment under the ``won`` scheme.
+    a post-revision fragment under the ``won`` scheme.  Raises
+    ``ValueError`` -- naming the offending hop -- as soon as any hop would
+    need a VC index ``>= num_vcs``.
     """
     vcs: List[int] = []
     if scheme == "perhop":
         for i in range(path.num_hops):
-            vcs.append(hop_offset + i)
+            vcs.append(_checked(hop_offset + i, i, scheme, num_vcs))
     elif scheme == "won":
         offset = 1 if revised else 0
         globals_done = 0
-        for slot in path.slots:
-            vcs.append(globals_done + offset)
-            if slot != LOCAL_SLOT:
+        chained = 0
+        prev_local = False
+        for i, slot in enumerate(path.slots):
+            is_local = slot == LOCAL_SLOT
+            if is_local and prev_local:
+                chained += 1
+            vcs.append(
+                _checked(globals_done + chained + offset, i, scheme, num_vcs)
+            )
+            if not is_local:
                 globals_done += 1
+            prev_local = is_local
     else:
         raise ValueError(f"unknown vc scheme {scheme!r}")
-    for vc in vcs:
-        if vc >= num_vcs:
-            raise ValueError(
-                f"path needs VC {vc} but only {num_vcs} are configured "
-                f"(scheme {scheme!r})"
-            )
     return vcs

@@ -12,7 +12,6 @@ methods are:
 from __future__ import annotations
 
 import abc
-from typing import Optional
 
 import numpy as np
 

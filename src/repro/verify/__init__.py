@@ -1,0 +1,36 @@
+"""Static deadlock-freedom and path-set invariant analysis.
+
+Validates a ``(topology, path set, VC scheme, VC count)`` configuration
+without running a simulation:
+
+* :mod:`repro.verify.cdg` builds the channel dependency graph over
+  virtual channels and certifies deadlock freedom (Dally's criterion),
+  reporting a concrete dependency cycle as a counterexample on failure;
+* :mod:`repro.verify.lint` checks structural invariants of the path set
+  (hop validity, slot ranges, MIN minimality, the VLB hop-class taxonomy,
+  VC budget, load-balance bounds) as toggleable rules;
+* :mod:`repro.verify.report` packages both into a :class:`VerifyReport`
+  with text/JSON rendering, exposed on the CLI as ``python -m repro
+  verify`` and as the ``SimParams(verify=True)`` engine pre-flight gate.
+"""
+
+from repro.verify.cdg import (
+    CdgResult,
+    ChannelDependencyGraph,
+    build_cdg,
+    certify_deadlock_freedom,
+)
+from repro.verify.lint import LINT_RULES, Finding, lint_pathset
+from repro.verify.report import VerifyReport, verify_config
+
+__all__ = [
+    "CdgResult",
+    "ChannelDependencyGraph",
+    "build_cdg",
+    "certify_deadlock_freedom",
+    "Finding",
+    "LINT_RULES",
+    "lint_pathset",
+    "VerifyReport",
+    "verify_config",
+]

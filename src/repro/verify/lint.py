@@ -1,0 +1,509 @@
+"""Path-set linter: structural invariants a routed configuration must hold.
+
+Each rule inspects a sampled set of switch pairs (MIN paths plus the
+policy's VLB paths) and yields structured :class:`Finding` records -- rule
+id, severity, location, message -- instead of raising, so one run reports
+every violation at once.  Rules are registered in :data:`LINT_RULES` and
+individually toggleable via the ``rules`` argument of
+:func:`lint_pathset`.
+
+Rules (severity in parentheses):
+
+* ``hop-validity`` (error): every hop of every path is a real channel of
+  the topology, and VLB descriptors materialize without raising.
+* ``slot-range`` (error): global-link slot indices stay within the group
+  pair's link table (``topo.links_between_groups``) and match the actual
+  link endpoints at that slot.
+* ``min-minimality`` (error): MIN paths really are shortest -- hop counts
+  equal BFS distances on the switch graph.
+* ``hop-class`` (error): the VLB taxonomy holds -- descriptor hop counts
+  lie in ``[2, max_vlb_hops]``, materialized paths have exactly two global
+  hops and the predicted length, and every descriptor the policy
+  *enumerates* is also one it *contains* (the LP model and the simulator
+  assume this consistency).
+* ``vc-overflow`` (error): every path -- and, under PAR, every revised
+  fragment -- fits in the configured VC count per ``assign_vcs``.
+* ``balance`` (warning): the load-balance ratios of ``core/balance.py``
+  stay under the adjustment factor (3.0) -- a hotter channel would have
+  been removed by Algorithm 1's balance step.
+* ``vlb-reachability`` (warning): no sampled pair is left without any VLB
+  candidate by the policy while the topology offers some.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.balance import global_usage_probability, pair_usage_probability
+from repro.routing.channels import ChannelIndex
+from repro.routing.minimal import min_paths
+from repro.routing.paths import LOCAL_SLOT, Path
+from repro.routing.pathset import AllVlbPolicy, PathPolicy
+from repro.routing.vlb import (
+    VlbDescriptor,
+    count_vlb_paths,
+    max_vlb_hops,
+    vlb_hops,
+    vlb_path,
+)
+from repro.sim.vc import assign_vcs
+from repro.topology.dragonfly import Dragonfly
+
+__all__ = ["Finding", "LINT_RULES", "lint_pathset"]
+
+BALANCE_FACTOR = 3.0  # mirrors core.balance.balance_adjust defaults
+_BALANCE_MAX_PAIRS = 8  # balance enumerates full per-pair sets: keep few
+_BALANCE_MAX_PATHS = 20_000  # skip balance for pairs with huge VLB sets
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic."""
+
+    rule: str
+    severity: str  # "error" | "warning"
+    location: str  # e.g. "pair (3->17)" or "pair (3->17) desc (mid=40,1,0)"
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.rule} @ {self.location}: {self.message}"
+
+
+def _loc(src: int, dst: int, desc: Optional[VlbDescriptor] = None) -> str:
+    base = f"pair ({src}->{dst})"
+    if desc is None:
+        return base
+    return f"{base} desc (mid={desc.mid},{desc.slot1},{desc.slot2})"
+
+
+@dataclass
+class _LintContext:
+    """Shared sampled state handed to every rule."""
+
+    topo: Dragonfly
+    policy: PathPolicy
+    scheme: str
+    routing: str
+    num_vcs: int
+    pairs: List[Tuple[int, int]]
+    max_descriptors: Optional[int]
+    _desc_cache: Dict[Tuple[int, int], List[VlbDescriptor]] = field(
+        default_factory=dict, repr=False
+    )
+    _path_cache: Dict[
+        Tuple[int, int],
+        List[Tuple[VlbDescriptor, Optional[Path], Optional[Exception]]],
+    ] = field(default_factory=dict, repr=False)
+
+    def descriptors(self, src: int, dst: int) -> List[VlbDescriptor]:
+        """The pair's policy descriptors, capped at ``max_descriptors``."""
+        key = (src, dst)
+        cached = self._desc_cache.get(key)
+        if cached is None:
+            cached = []
+            for desc in self.policy.iter_descriptors(self.topo, src, dst):
+                cached.append(desc)
+                if (
+                    self.max_descriptors is not None
+                    and len(cached) >= self.max_descriptors
+                ):
+                    break
+            self._desc_cache[key] = cached
+        return cached
+
+    def vlb_paths(
+        self, src: int, dst: int
+    ) -> List[Tuple[VlbDescriptor, Optional[Path], Optional[Exception]]]:
+        """Materialized (descriptor, path, error) triples for a pair."""
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            cached = []
+            for desc in self.descriptors(src, dst):
+                try:
+                    cached.append((desc, vlb_path(self.topo, src, dst, desc), None))
+                except (ValueError, IndexError) as exc:
+                    cached.append((desc, None, exc))
+            self._path_cache[key] = cached
+        return cached
+
+    @property
+    def par(self) -> bool:
+        return self.routing in ("par", "t-par")
+
+    def fragment_pair(self, src: int, dst: int) -> bool:
+        """Can (src, dst) be the (revision switch, dst) of a PAR re-route?"""
+        return self.topo.group_of(src) != self.topo.group_of(dst) or (
+            self.topo.max_local_hops > 1
+        )
+
+
+RuleFn = Callable[[_LintContext], Iterator[Finding]]
+
+
+def _rule_hop_validity(ctx: _LintContext) -> Iterator[Finding]:
+    for src, dst in ctx.pairs:
+        for p in min_paths(ctx.topo, src, dst):
+            try:
+                p.validate(ctx.topo)
+            except ValueError as exc:
+                yield Finding("hop-validity", "error", _loc(src, dst), str(exc))
+        for desc, p, exc in ctx.vlb_paths(src, dst):
+            if exc is not None and isinstance(exc, ValueError):
+                yield Finding(
+                    "hop-validity", "error", _loc(src, dst, desc), str(exc)
+                )
+                continue
+            if p is None:
+                continue
+            try:
+                p.validate(ctx.topo)
+            except ValueError as e:
+                yield Finding(
+                    "hop-validity", "error", _loc(src, dst, desc), str(e)
+                )
+            else:
+                if p.src != src or p.dst != dst:
+                    yield Finding(
+                        "hop-validity",
+                        "error",
+                        _loc(src, dst, desc),
+                        f"path runs {p.src}->{p.dst}, not {src}->{dst}",
+                    )
+
+
+def _rule_slot_range(ctx: _LintContext) -> Iterator[Finding]:
+    topo = ctx.topo
+    for src, dst in ctx.pairs:
+        gs, gd = topo.group_of(src), topo.group_of(dst)
+        for desc, p, exc in ctx.vlb_paths(src, dst):
+            gm = topo.group_of(desc.mid)
+            if gm != gs and gm != gd:
+                for slot, ga, gb in (
+                    (desc.slot1, gs, gm),
+                    (desc.slot2, gm, gd),
+                ):
+                    n = len(topo.links_between_groups(ga, gb))
+                    if not 0 <= slot < n:
+                        yield Finding(
+                            "slot-range",
+                            "error",
+                            _loc(src, dst, desc),
+                            f"slot {slot} out of range for groups "
+                            f"{ga}<->{gb} ({n} links)",
+                        )
+            if isinstance(exc, IndexError):
+                yield Finding(
+                    "slot-range",
+                    "error",
+                    _loc(src, dst, desc),
+                    "descriptor slot indexes past the group pair's links",
+                )
+            if p is None:
+                continue
+            for ch in p.channels():
+                if ch.slot == LOCAL_SLOT:
+                    continue
+                links = topo.links_between_groups(
+                    topo.group_of(ch.src), topo.group_of(ch.dst)
+                )
+                if not 0 <= ch.slot < len(links):
+                    yield Finding(
+                        "slot-range",
+                        "error",
+                        _loc(src, dst, desc),
+                        f"{ch}: slot outside the {len(links)}-link table",
+                    )
+                elif {links[ch.slot].switch_a, links[ch.slot].switch_b} != {
+                    ch.src,
+                    ch.dst,
+                }:
+                    yield Finding(
+                        "slot-range",
+                        "error",
+                        _loc(src, dst, desc),
+                        f"{ch}: slot {ch.slot} joins different switches",
+                    )
+
+
+def _rule_min_minimality(ctx: _LintContext) -> Iterator[Finding]:
+    # A dragonfly MIN path is one canonical route *per direct global link*
+    # (not the graph-wide shortest), so the checkable invariants are: the
+    # path takes exactly one global hop between distinct groups (zero
+    # within a group), and every local segment is a shortest route of the
+    # intra-group subgraph (BFS over local links as ground truth).
+    import networkx as nx
+
+    topo = ctx.topo
+    local = nx.Graph()
+    local.add_nodes_from(range(topo.num_switches))
+    for u in range(topo.num_switches):
+        for v in topo.local_neighbors(u):
+            if u < v:
+                local.add_edge(u, v)
+    bfs_cache: Dict[int, Dict[int, int]] = {}
+
+    def local_distance(u: int, v: int) -> Optional[int]:
+        dists = bfs_cache.get(u)
+        if dists is None:
+            dists = nx.single_source_shortest_path_length(local, u)
+            bfs_cache[u] = dists
+        return dists.get(v)
+
+    for src, dst in ctx.pairs:
+        expected_globals = (
+            0 if topo.group_of(src) == topo.group_of(dst) else 1
+        )
+        for p in min_paths(topo, src, dst):
+            if p.num_global_hops != expected_globals:
+                yield Finding(
+                    "min-minimality",
+                    "error",
+                    _loc(src, dst),
+                    f"MIN path takes {p.num_global_hops} global hops, "
+                    f"expected {expected_globals}",
+                )
+            # maximal runs of consecutive local hops
+            run_start, run_len = p.switches[0], 0
+            segments = []
+            for i, slot in enumerate(p.slots):
+                if slot == LOCAL_SLOT:
+                    run_len += 1
+                else:
+                    if run_len:
+                        segments.append((run_start, p.switches[i], run_len))
+                    run_start, run_len = p.switches[i + 1], 0
+            if run_len:
+                segments.append((run_start, p.switches[-1], run_len))
+            for u, v, hops in segments:
+                dist = local_distance(u, v)
+                if dist is None:
+                    yield Finding(
+                        "min-minimality",
+                        "error",
+                        _loc(src, dst),
+                        f"local segment {u}->{v} crosses disconnected "
+                        f"switches",
+                    )
+                elif hops != dist:
+                    yield Finding(
+                        "min-minimality",
+                        "error",
+                        _loc(src, dst),
+                        f"local segment {u}->{v} takes {hops} hops, "
+                        f"intra-group distance is {dist}",
+                    )
+
+
+def _rule_hop_class(ctx: _LintContext) -> Iterator[Finding]:
+    topo = ctx.topo
+    cap = max_vlb_hops(topo)
+    for src, dst in ctx.pairs:
+        for desc, p, _exc in ctx.vlb_paths(src, dst):
+            if not ctx.policy.contains(topo, src, dst, desc):
+                yield Finding(
+                    "hop-class",
+                    "error",
+                    _loc(src, dst, desc),
+                    "policy enumerates a descriptor its own contains() "
+                    "rejects",
+                )
+            if p is None:
+                continue
+            hops = vlb_hops(topo, src, dst, desc)
+            if not 2 <= hops <= cap:
+                yield Finding(
+                    "hop-class",
+                    "error",
+                    _loc(src, dst, desc),
+                    f"VLB path has {hops} hops, outside [2, {cap}]",
+                )
+            if p.num_global_hops != 2:
+                yield Finding(
+                    "hop-class",
+                    "error",
+                    _loc(src, dst, desc),
+                    f"VLB path takes {p.num_global_hops} global hops, "
+                    f"expected exactly 2",
+                )
+            if p.num_hops != hops:
+                yield Finding(
+                    "hop-class",
+                    "error",
+                    _loc(src, dst, desc),
+                    f"materialized path has {p.num_hops} hops but the "
+                    f"descriptor taxonomy predicts {hops}",
+                )
+
+
+def _rule_vc_overflow(ctx: _LintContext) -> Iterator[Finding]:
+    if ctx.scheme == "none":
+        return
+    for src, dst in ctx.pairs:
+        paths: List[Tuple[Optional[VlbDescriptor], Path]] = [
+            (None, p) for p in min_paths(ctx.topo, src, dst)
+        ]
+        paths.extend(
+            (desc, p) for desc, p, _e in ctx.vlb_paths(src, dst) if p is not None
+        )
+        for desc, p in paths:
+            try:
+                assign_vcs(p, ctx.scheme, num_vcs=ctx.num_vcs)
+            except ValueError as exc:
+                yield Finding(
+                    "vc-overflow", "error", _loc(src, dst, desc), str(exc)
+                )
+        if ctx.par and ctx.fragment_pair(src, dst):
+            for desc, p, _e in ctx.vlb_paths(src, dst):
+                if p is None:
+                    continue
+                try:
+                    assign_vcs(
+                        p,
+                        ctx.scheme,
+                        hop_offset=1,
+                        revised=True,
+                        num_vcs=ctx.num_vcs,
+                    )
+                except ValueError as exc:
+                    yield Finding(
+                        "vc-overflow",
+                        "error",
+                        _loc(src, dst, desc),
+                        f"PAR-revised fragment: {exc}",
+                    )
+
+
+def _rule_balance(ctx: _LintContext) -> Iterator[Finding]:
+    chidx = ChannelIndex(ctx.topo)
+    checked: List[Tuple[int, int]] = []
+    for src, dst in ctx.pairs:
+        if len(checked) >= _BALANCE_MAX_PAIRS:
+            break
+        if count_vlb_paths(ctx.topo, src, dst) > _BALANCE_MAX_PATHS:
+            continue
+        try:
+            probs = pair_usage_probability(
+                ctx.topo, chidx, ctx.policy, src, dst
+            )
+        except (ValueError, IndexError):
+            # malformed descriptor; hop-validity / slot-range report it
+            continue
+        checked.append((src, dst))
+        used = probs[probs > 0]
+        if used.size == 0:
+            continue
+        ratio = float(probs.max() / used.mean())
+        if ratio > BALANCE_FACTOR:
+            hot = chidx.channel(int(probs.argmax()))
+            yield Finding(
+                "balance",
+                "warning",
+                _loc(src, dst),
+                f"channel {hot} is {ratio:.1f}x the pair's mean usage "
+                f"(adjustment factor {BALANCE_FACTOR})",
+            )
+    if not checked:
+        return
+    gprobs = global_usage_probability(ctx.topo, chidx, ctx.policy, checked)
+    used = gprobs[gprobs > 0]
+    if used.size:
+        ratio = float(gprobs.max() / used.mean())
+        if ratio > BALANCE_FACTOR:
+            hot = chidx.channel(int(gprobs.argmax()))
+            yield Finding(
+                "balance",
+                "warning",
+                f"{len(checked)} sampled pairs",
+                f"channel {hot} is {ratio:.1f}x the global mean usage "
+                f"(adjustment factor {BALANCE_FACTOR})",
+            )
+
+
+def _rule_vlb_reachability(ctx: _LintContext) -> Iterator[Finding]:
+    for src, dst in ctx.pairs:
+        if ctx.descriptors(src, dst):
+            continue
+        if count_vlb_paths(ctx.topo, src, dst) > 0:
+            yield Finding(
+                "vlb-reachability",
+                "warning",
+                _loc(src, dst),
+                "policy leaves this pair without any VLB candidate "
+                "(UGAL degenerates to MIN here)",
+            )
+
+
+LINT_RULES: Dict[str, RuleFn] = {
+    "hop-validity": _rule_hop_validity,
+    "slot-range": _rule_slot_range,
+    "min-minimality": _rule_min_minimality,
+    "hop-class": _rule_hop_class,
+    "vc-overflow": _rule_vc_overflow,
+    "balance": _rule_balance,
+    "vlb-reachability": _rule_vlb_reachability,
+}
+
+
+def _sample_pairs(
+    topo: Dragonfly, max_pairs: Optional[int], seed: int
+) -> List[Tuple[int, int]]:
+    pairs = [
+        (s, d)
+        for s in range(topo.num_switches)
+        for d in range(topo.num_switches)
+        if s != d
+    ]
+    if max_pairs is None or max_pairs >= len(pairs):
+        return pairs
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(len(pairs), size=max_pairs, replace=False)
+    return [pairs[i] for i in sorted(idx)]
+
+
+def lint_pathset(
+    topo: Dragonfly,
+    policy: Optional[PathPolicy] = None,
+    *,
+    scheme: str = "won",
+    routing: str = "par",
+    num_vcs: int = 8,
+    rules: Optional[Sequence[str]] = None,
+    max_pairs: Optional[int] = 40,
+    max_descriptors: Optional[int] = 200,
+    seed: int = 0,
+) -> List[Finding]:
+    """Run the (selected) lint rules over a sampled set of switch pairs.
+
+    ``rules`` selects a subset of :data:`LINT_RULES` (default: all);
+    unknown names raise ``ValueError``.  ``max_pairs`` / ``max_descriptors``
+    bound the sample (``None`` = no cap).  Findings come back sorted with
+    errors first.
+    """
+    if rules is None:
+        selected = list(LINT_RULES)
+    else:
+        unknown = [r for r in rules if r not in LINT_RULES]
+        if unknown:
+            raise ValueError(
+                f"unknown lint rule(s) {unknown}; "
+                f"available: {sorted(LINT_RULES)}"
+            )
+        selected = list(rules)
+    ctx = _LintContext(
+        topo=topo,
+        policy=policy if policy is not None else AllVlbPolicy(),
+        scheme=scheme,
+        routing=routing.lower().removeprefix("t-"),
+        num_vcs=num_vcs,
+        pairs=_sample_pairs(topo, max_pairs, seed),
+        max_descriptors=max_descriptors,
+    )
+    findings: List[Finding] = []
+    for name in selected:
+        findings.extend(LINT_RULES[name](ctx))
+    findings.sort(key=lambda f: (f.severity != "error", f.rule, f.location))
+    return findings

@@ -44,6 +44,10 @@ PUBLIC_MODULES = [
     "repro.sim.stats",
     "repro.sim.sweep",
     "repro.sim.replication",
+    "repro.verify",
+    "repro.verify.cdg",
+    "repro.verify.lint",
+    "repro.verify.report",
     "repro.experiments",
     "repro.experiments.report",
     "repro.experiments.figures",

@@ -113,3 +113,46 @@ class TestCommands:
     def test_figure_unknown(self):
         with pytest.raises(ValueError):
             main(["figure", "fig99"])
+
+
+class TestVerifyCommand:
+    def test_paper_topology_certifies(self, capsys):
+        assert main(["verify", "-t", "4,8,4,9", "--no-lint"]) == 0
+        out = capsys.readouterr().out
+        assert "deadlock-free: certified" in out
+        assert "RESULT: PASS" in out
+
+    def test_none_scheme_reports_cycle_nonzero(self, capsys):
+        assert main(
+            ["verify", "-t", "4,8,4,9", "--vc-scheme", "none", "--no-lint"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "DEADLOCK RISK" in out
+        assert "dependency cycle (each waits on the next)" in out
+        assert "RESULT: FAIL" in out
+
+    def test_tvlb_policy_certifies(self, capsys):
+        assert main(
+            ["verify", "-t", "2,4,2,5", "--policy", "hopclass:4,0.2",
+             "--routing", "t-par"]
+        ) == 0
+        assert "RESULT: PASS" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["verify", "-t", "2,4,2,5", "--json", "--pairs", "10"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["passed"] is True
+        assert data["cdg"]["certified"] is True
+
+    def test_rules_subset(self, capsys):
+        assert main(
+            ["verify", "-t", "2,4,2,5", "--no-cdg", "--rules",
+             "vc-overflow,hop-validity", "--pairs", "10"]
+        ) == 0
+        assert "lint: 0 error(s)" in capsys.readouterr().out
+
+    def test_unknown_rule_exits(self):
+        with pytest.raises(SystemExit, match="unknown lint rule"):
+            main(["verify", "-t", "2,4,2,5", "--no-cdg", "--rules", "bogus"])

@@ -1,0 +1,58 @@
+"""Tests for the dense channel index."""
+
+import pytest
+
+from repro.routing.channels import ChannelIndex
+from repro.routing.paths import Channel
+from repro.topology import Dragonfly
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Dragonfly(2, 4, 2, 5)
+
+
+class TestChannelIndex:
+    def test_counts(self, topo):
+        chidx = ChannelIndex(topo)
+        # per group: a*(a-1) ordered local pairs; globals both directions
+        assert chidx.num_local == topo.g * topo.a * (topo.a - 1)
+        assert chidx.num_global == 2 * len(topo.global_links)
+        assert len(chidx) == chidx.num_local + chidx.num_global
+
+    def test_roundtrip(self, topo):
+        chidx = ChannelIndex(topo)
+        for idx in range(len(chidx)):
+            ch = chidx.channel(idx)
+            assert chidx.index(ch) == idx
+
+    def test_locals_precede_globals(self, topo):
+        chidx = ChannelIndex(topo)
+        for idx in range(len(chidx)):
+            assert chidx.is_global(idx) == (idx >= chidx.num_local)
+
+    def test_duplicate_registration_rejected(self, topo):
+        chidx = ChannelIndex(topo)
+        with pytest.raises(ValueError, match="duplicate channel registration"):
+            chidx._add(Channel(0, 1))
+
+    def test_duplicate_mentions_existing_index(self, topo):
+        chidx = ChannelIndex(topo)
+        ch = chidx.channel(7)
+        with pytest.raises(ValueError, match="already index 7"):
+            chidx._add(ch)
+
+    def test_parallel_global_links_distinct(self, topo):
+        # dfly(2,4,2,5) has two links per group pair; their channels must
+        # occupy distinct slots in the index
+        chidx = ChannelIndex(topo)
+        links = topo.links_between_groups(0, 1)
+        assert len(links) == 2
+        ids = {
+            chidx.index(
+                Channel(ln.endpoint_in(a), ln.endpoint_in(b), ln.slot)
+            )
+            for ln in links
+            for a, b in ((0, 1), (1, 0))
+        }
+        assert len(ids) == 4

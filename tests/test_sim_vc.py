@@ -21,18 +21,36 @@ class TestWonScheme:
         assert assign_vcs(_path([L, 0, L]), "won") == [0, 0, 1]
 
     def test_vlb_six_hop(self):
-        # l g l l g l -> 0 0 1 1 1 2
+        # l g l l g l: the two chained local hops in the intermediate
+        # group each bump the level (without the bump, three such paths
+        # can close a cyclic dependency among one group's local channels)
         vcs = assign_vcs(_path([L, 0, L, L, 0, L]), "won")
-        assert vcs == [0, 0, 1, 1, 1, 2]
+        assert vcs == [0, 0, 1, 2, 2, 3]
         assert max(vcs) < SimParams().vcs_required("ugal-l")
 
     def test_global_only(self):
         assert assign_vcs(_path([0, 0]), "won") == [0, 1]
 
+    def test_chained_locals_bump(self):
+        # l l l: each chained local hop gets a fresh level
+        assert assign_vcs(_path([L, L, L]), "won") == [0, 1, 2]
+        # a global hop between locals resets the chain
+        assert assign_vcs(_path([L, 0, L, L]), "won") == [0, 0, 1, 2]
+
     def test_revised_fragment_shifted(self):
         vcs = assign_vcs(_path([L, 0, L, 0, L]), "won", revised=True)
         assert vcs == [1, 1, 2, 2, 3]
         assert max(vcs) < SimParams().vcs_required("par")
+
+    def test_revised_six_hop_uses_par_budget_exactly(self):
+        vcs = assign_vcs(_path([L, 0, L, L, 0, L]), "won", revised=True)
+        assert vcs == [1, 1, 2, 3, 3, 4]
+        assert max(vcs) == SimParams().vcs_required("par") - 1
+
+    def test_won_ignores_hop_offset(self):
+        # the won scheme keys on path structure, not hops already taken
+        base = assign_vcs(_path([L, 0, L]), "won", hop_offset=3)
+        assert base == [0, 0, 1]
 
     def test_vc_never_decreases(self):
         for slots in ([L, 0, L, 0, L], [0, L, 0], [L, 0, 1, L]):
@@ -50,6 +68,17 @@ class TestPerhopScheme:
         vcs = assign_vcs(_path([L, 0, L]), "perhop", hop_offset=1)
         assert vcs == [1, 2, 3]
 
+    def test_revised_fragment_fits_par_budget(self):
+        # a PAR revision at hop 1 re-routes onto a full 6-hop VLB path;
+        # the longest fragment must still fit routing(6)'s PAR budget
+        vcs = assign_vcs(_path([L, 0, L, L, 0, L]), "perhop", hop_offset=1)
+        assert vcs == [1, 2, 3, 4, 5, 6]
+        assert max(vcs) == SimParams(vc_scheme="perhop").vcs_required("par") - 1
+
+    def test_perhop_ignores_revised_flag(self):
+        # perhop levels come from the hop offset alone
+        assert assign_vcs(_path([L, 0]), "perhop", revised=True) == [0, 1]
+
 
 class TestValidation:
     def test_unknown_scheme(self):
@@ -59,6 +88,21 @@ class TestValidation:
     def test_overflow_detected(self):
         with pytest.raises(ValueError, match="only 2"):
             assign_vcs(_path([L, 0, L, L, 0, L]), "perhop", num_vcs=2)
+
+    def test_overflow_names_offending_hop(self):
+        # perhop: hop 2 is the first to need VC 2
+        with pytest.raises(ValueError, match="hop 2"):
+            assign_vcs(_path([L, 0, L, L, 0, L]), "perhop", num_vcs=2)
+        # won: the first chained local (hop 3) needs VC 2
+        with pytest.raises(ValueError, match="hop 3"):
+            assign_vcs(_path([L, 0, L, L, 0, L]), "won", num_vcs=2)
+
+    def test_overflow_in_revised_fragment(self):
+        # fits unrevised, overflows once the revision offset is added
+        path = _path([L, 0, L, L, 0, L])
+        assert max(assign_vcs(path, "won", num_vcs=4)) == 3
+        with pytest.raises(ValueError, match="hop 5"):
+            assign_vcs(path, "won", revised=True, num_vcs=4)
 
 
 class TestParamsVcRequirements:
@@ -76,6 +120,15 @@ class TestParamsVcRequirements:
 
     def test_explicit_override(self):
         assert SimParams(num_vcs=9).vcs_required("ugal-l") == 9
+
+    def test_sparse_group_requirements(self):
+        # 2D all-to-all groups (max_local_hops=2) chain more local hops
+        p = SimParams()
+        assert p.vcs_required("ugal-l", max_local_hops=2) == 8
+        assert p.vcs_required("par", max_local_hops=2) == 9
+        pp = SimParams(vc_scheme="perhop")
+        assert pp.vcs_required("ugal-l", max_local_hops=2) == 10
+        assert pp.vcs_required("par", max_local_hops=2) == 11
 
     def test_param_validation(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,269 @@
+"""Tests for the channel-dependency-graph builder and deadlock certifier."""
+
+import numpy as np
+import pytest
+
+from repro.routing.paths import Channel, Path
+from repro.routing.pathset import (
+    AllVlbPolicy,
+    ExcludingPolicy,
+    ExplicitPathSet,
+    HopClassPolicy,
+    StrategicFiveHopPolicy,
+    _mix,
+)
+from repro.routing.vlb import VlbDescriptor
+from repro.topology import Dragonfly
+from repro.topology.cascade import CascadeDragonfly
+from repro.verify import (
+    ChannelDependencyGraph,
+    build_cdg,
+    certify_deadlock_freedom,
+)
+from repro.verify.cdg import VC_SCHEMES, _mix_vec
+
+
+@pytest.fixture(scope="module")
+def paper_topo():
+    """The paper's dfly(4,8,4,9): 72 switches, 4 links per group pair."""
+    return Dragonfly(4, 8, 4, 9)
+
+
+@pytest.fixture(scope="module")
+def small_topo():
+    return Dragonfly(2, 4, 2, 5)
+
+
+# ---------------------------------------------------------------------------
+# Graph primitives
+# ---------------------------------------------------------------------------
+class TestGraphPrimitives:
+    def test_channel_roundtrip(self, small_topo):
+        g = ChannelDependencyGraph(small_topo, "won")
+        channels = [Channel(0, 1)]
+        for link in small_topo.global_links[:6]:
+            channels.append(Channel(link.switch_a, link.switch_b, link.slot))
+            channels.append(Channel(link.switch_b, link.switch_a, link.slot))
+        for ch in channels:
+            assert g.decode_channel(g.encode_channel(ch)) == ch
+
+    def test_parallel_links_stay_distinct(self, small_topo):
+        # dfly(2,4,2,5) has 2 links per group pair; both directions of both
+        # must encode to four distinct ids
+        g = ChannelDependencyGraph(small_topo, "won")
+        links = small_topo.links_between_groups(0, 1)
+        assert len(links) == 2
+        ids = {
+            g.encode_channel(Channel(ln.endpoint_in(a), ln.endpoint_in(b), ln.slot))
+            for ln in links
+            for a, b in ((0, 1), (1, 0))
+        }
+        assert len(ids) == 4
+
+    def test_node_roundtrip(self, small_topo):
+        g = ChannelDependencyGraph(small_topo, "won")
+        ch = Channel(2, 3)
+        node = g.encode_channel(ch) * g.num_levels + 3
+        assert g.decode_node(node) == (ch, 3)
+
+    def test_unknown_scheme_rejected(self, small_topo):
+        with pytest.raises(ValueError, match="unknown vc scheme"):
+            ChannelDependencyGraph(small_topo, "rainbow")
+        assert set(VC_SCHEMES) == {"won", "perhop", "none"}
+
+    def test_add_path_edges(self, small_topo):
+        g = ChannelDependencyGraph(small_topo, "won")
+        # 0 -> 1 -> (global) -> dst-group switch
+        links = small_topo.links_between_groups(0, 1)
+        x, y = links[0].endpoint_in(0), links[0].endpoint_in(1)
+        src = next(s for s in range(4) if s != x)
+        path = Path((src, x, y), (-1, links[0].slot))
+        g.add_path(path, [0, 0])
+        assert g.num_paths == 1
+        assert g.num_edges == 1
+        deps = list(g.iter_dependencies())
+        assert deps == [((Channel(src, x), 0), (Channel(x, y, links[0].slot), 0))]
+        assert g.num_nodes == 2
+
+    def test_add_path_vc_length_mismatch(self, small_topo):
+        g = ChannelDependencyGraph(small_topo, "won")
+        with pytest.raises(ValueError, match="VC assignments"):
+            g.add_path(Path((0, 1), (-1,)), [0, 1])
+
+
+class TestCycleDetection:
+    def test_empty_graph_acyclic(self, small_topo):
+        assert ChannelDependencyGraph(small_topo, "won").find_cycle() is None
+
+    def test_hand_built_cycle_found(self, small_topo):
+        # three local channels of group 0 waiting on each other at vc 0
+        g = ChannelDependencyGraph(small_topo, "won")
+        ring = [Channel(0, 1), Channel(1, 2), Channel(2, 0)]
+        for a, b in zip(ring, ring[1:] + ring[:1]):
+            g.add_dependency(a, 0, b, 0)
+        # an acyclic appendix must not confuse the search
+        g.add_dependency(Channel(3, 0), 0, ring[0], 0)
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert len(cycle) == 3
+        assert {ch for ch, _vc in cycle} == set(ring)
+        assert all(vc == 0 for _ch, vc in cycle)
+
+    def test_cycle_is_in_traversal_order(self, small_topo):
+        g = ChannelDependencyGraph(small_topo, "won")
+        ring = [Channel(0, 1), Channel(1, 2), Channel(2, 3), Channel(3, 0)]
+        for a, b in zip(ring, ring[1:] + ring[:1]):
+            g.add_dependency(a, 1, b, 1)
+        cycle = g.find_cycle()
+        deps = set(g.iter_dependencies())
+        for i, node in enumerate(cycle):
+            assert (node, cycle[(i + 1) % len(cycle)]) in deps
+
+    def test_vc_levels_separate_nodes(self, small_topo):
+        # same channels at different vc levels do NOT close a cycle
+        g = ChannelDependencyGraph(small_topo, "won")
+        g.add_dependency(Channel(0, 1), 0, Channel(1, 0), 0)
+        g.add_dependency(Channel(1, 0), 1, Channel(0, 1), 1)
+        assert g.find_cycle() is None
+
+
+# ---------------------------------------------------------------------------
+# Certification of real configurations
+# ---------------------------------------------------------------------------
+class TestPaperCertification:
+    def test_full_vlb_won_certified(self, paper_topo):
+        res = certify_deadlock_freedom(paper_topo, scheme="won", routing="par")
+        assert res.certified and res.deadlock_free and res.exhaustive
+        assert res.cycle is None
+        # MIN: one per link per inter-group pair; VLB: every
+        # (mid switch, slot1, slot2) triple, incl. intra-group pairs
+        min_paths = 9 * 8 * (8 * 8) * 4
+        vlb_inter = 9 * 8 * 7 * 8**3 * 4**2
+        vlb_intra = 9 * 8 * (8 * 7 * 8) * 4**2
+        assert res.num_paths == min_paths + vlb_inter + vlb_intra
+        assert "certified" in res.describe()
+
+    def test_full_vlb_perhop_certified(self, paper_topo):
+        res = certify_deadlock_freedom(paper_topo, scheme="perhop", routing="par")
+        assert res.certified
+        # perhop spreads hops over more levels than won
+        assert res.num_nodes > 0
+
+    def test_tvlb_hopclass_certified(self, paper_topo):
+        res = certify_deadlock_freedom(
+            paper_topo, HopClassPolicy(4, 0.1, seed=3), scheme="won",
+            routing="t-par",
+        )
+        assert res.certified
+        # the restricted set admits strictly fewer paths than full VLB
+        assert res.num_paths < 4_663_296
+
+    def test_none_scheme_reports_concrete_cycle(self, paper_topo):
+        # without VC protection the local channels alone deadlock; the
+        # counterexample must be a real closed dependency chain
+        res = certify_deadlock_freedom(paper_topo, scheme="none", routing="par")
+        assert not res.deadlock_free and not res.certified
+        assert "DEADLOCK RISK" in res.describe()
+        cycle = res.cycle
+        assert len(cycle) >= 2
+        for (ch, vc), (nxt, nvc) in zip(cycle, cycle[1:] + cycle[:1]):
+            assert vc == 0 and nvc == 0
+            assert ch.dst == nxt.src or ch.is_global or nxt.is_global
+
+
+class TestBuilderEquivalence:
+    POLICIES = [
+        AllVlbPolicy(),
+        HopClassPolicy(4, 0.0),
+        HopClassPolicy(4, 0.37, seed=7),
+        HopClassPolicy(5, 0.5, seed=1),
+        StrategicFiveHopPolicy("2+3"),
+        StrategicFiveHopPolicy("3+2"),
+    ]
+
+    @pytest.mark.parametrize("scheme", ["won", "perhop", "none"])
+    @pytest.mark.parametrize("routing", ["ugal-l", "par"])
+    def test_fast_matches_generic_all_vlb(self, small_topo, scheme, routing):
+        fast = build_cdg(
+            small_topo, scheme=scheme, routing=routing, method="fast"
+        )
+        generic = build_cdg(
+            small_topo, scheme=scheme, routing=routing, method="generic"
+        )
+        assert fast._edges == generic._edges
+
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.describe())
+    def test_fast_matches_generic_policies(self, small_topo, policy):
+        fast = build_cdg(small_topo, policy, scheme="won", method="fast")
+        generic = build_cdg(small_topo, policy, scheme="won", method="generic")
+        assert fast._edges == generic._edges
+
+    def test_fast_matches_generic_excluding(self, small_topo):
+        excluded_desc = next(
+            AllVlbPolicy().iter_descriptors(small_topo, 0, 8)
+        )
+        link = small_topo.links_between_groups(0, 1)[0]
+        policy = ExcludingPolicy(
+            base=HopClassPolicy(5, 1.0),
+            excluded_channels=frozenset(
+                {
+                    Channel(0, 1),
+                    Channel(link.endpoint_in(0), link.endpoint_in(1), link.slot),
+                }
+            ),
+            excluded_descriptors=frozenset({(0, 8, excluded_desc)}),
+        )
+        fast = build_cdg(small_topo, policy, scheme="won", method="fast")
+        generic = build_cdg(small_topo, policy, scheme="won", method="generic")
+        assert fast._edges == generic._edges
+
+    def test_par_adds_fragment_dependencies(self, small_topo):
+        ugal = build_cdg(small_topo, scheme="won", routing="ugal-l")
+        par = build_cdg(small_topo, scheme="won", routing="par")
+        assert ugal._edges < par._edges  # strict superset
+
+    def test_mix_vec_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        cols = [rng.integers(0, 500, size=64) for _ in range(5)]
+        for seed in (0, 7, 123456789):
+            vec = _mix_vec(seed, *[c.astype(np.int64) for c in cols])
+            for i in range(64):
+                src, dst, mid, s1, s2 = (int(c[i]) for c in cols)
+                scalar = _mix(seed, src, dst, VlbDescriptor(mid, s1, s2))
+                assert int(vec[i]) == scalar
+
+
+class TestBuilderModes:
+    def test_sampling_clears_exhaustive(self, small_topo):
+        res = certify_deadlock_freedom(small_topo, max_pairs=10)
+        assert res.deadlock_free
+        assert not res.exhaustive and not res.certified
+        assert "sampled" in res.describe()
+
+    def test_explicit_pathset_uses_generic(self, small_topo):
+        policy = ExplicitPathSet.from_policy(
+            small_topo, HopClassPolicy(4, 0.0), pairs=[(0, 8), (8, 0)]
+        )
+        res = certify_deadlock_freedom(small_topo, policy, scheme="won")
+        assert res.deadlock_free and res.exhaustive
+
+    def test_fast_method_rejects_explicit_pathset(self, small_topo):
+        with pytest.raises(ValueError, match="vectorized"):
+            build_cdg(small_topo, ExplicitPathSet(), method="fast")
+
+    def test_fast_method_rejects_sparse_groups(self):
+        casc = CascadeDragonfly(1, 4, 1, 3, rows=2, cols=2)
+        with pytest.raises(ValueError, match="fully connected"):
+            build_cdg(casc, method="fast")
+
+    def test_unknown_method_rejected(self, small_topo):
+        with pytest.raises(ValueError, match="unknown method"):
+            build_cdg(small_topo, method="telepathy")
+
+    def test_cascade_certified_via_generic(self):
+        # sparse intra-group topology: auto mode must pick the generic
+        # builder and still certify both schemes under PAR
+        casc = CascadeDragonfly(1, 4, 1, 3, rows=2, cols=2)
+        for scheme in ("won", "perhop"):
+            res = certify_deadlock_freedom(casc, scheme=scheme, routing="par")
+            assert res.certified, res.describe()
