@@ -1,0 +1,31 @@
+"""Cycle-engine microbenchmark: optimized vs seed-faithful legacy engine.
+
+Times ``Network.step()`` only (deliver / crossbar / transmit), MIN
+routing at saturating load, interleaved optimized/legacy runs with
+best-of-N per engine -- the same protocol ``python -m repro bench`` uses
+for ``BENCH_sim.json``.  Asserts the two engines agree bit for bit and
+that the optimized engine is faster.
+"""
+
+import os
+
+from repro.perf.bench import bench_engine
+
+WINDOW = int(os.environ.get("REPRO_WINDOW", "600"))
+
+
+def test_engine_microbench(benchmark):
+    record = benchmark.pedantic(
+        bench_engine,
+        kwargs={"window_cycles": WINDOW, "repeats": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"engine: {record['baseline_cycles_per_sec']:.0f} -> "
+        f"{record['optimized_cycles_per_sec']:.0f} cycles/s "
+        f"({record['speedup']:.2f}x)"
+    )
+    assert record["identical_results"], "engines diverged"
+    assert record["speedup"] > 1.0

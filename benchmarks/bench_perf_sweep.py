@@ -1,0 +1,36 @@
+"""Sweep executor benchmark: serial vs process pool vs warm cache.
+
+Wall-clock for an 8-point latency-vs-load ladder through the three
+execution paths of :class:`repro.perf.executor.SweepExecutor`.  Pool
+speedup is bounded by the host's CPU count (recorded in the result);
+the identity assertions hold regardless.
+"""
+
+import os
+
+from repro.perf.bench import bench_sweep
+
+WINDOW = int(os.environ.get("REPRO_WINDOW", "300"))
+JOBS = int(os.environ.get("REPRO_JOBS", "8"))
+
+
+def test_sweep_bench(benchmark, tmp_path):
+    record = benchmark.pedantic(
+        bench_sweep,
+        kwargs={
+            "window_cycles": WINDOW,
+            "jobs": JOBS,
+            "cache_dir": str(tmp_path / "cache"),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"sweep ({len(record['loads'])} pts, jobs={record['jobs']}, "
+        f"cpus={record['cpus']}): serial {record['serial_seconds']:.2f}s, "
+        f"parallel {record['parallel_seconds']:.2f}s, "
+        f"warm cache {record['cached_seconds']:.3f}s"
+    )
+    assert record["identical_results"], "parallel sweep diverged from serial"
+    assert record["cached_speedup"] > 3

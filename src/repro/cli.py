@@ -7,9 +7,12 @@ Commands:
 * ``bounds`` -- closed-form capacity bounds
 * ``model``  -- LP modeled throughput for a pattern and candidate set
 * ``sim``    -- one simulation run at a fixed load
+* ``sweep``  -- a latency-vs-load ladder (``--jobs N`` fans the points
+  out over worker processes; ``--cache`` reuses on-disk results)
 * ``tvlb``   -- run Algorithm 1 and print the chosen T-VLB
 * ``verify`` -- static deadlock-freedom certification + path-set lint
 * ``figure`` -- regenerate one of the paper's tables/figures
+* ``bench``  -- engine/sweep performance benchmarks (``BENCH_sim.json``)
 
 Specification mini-languages:
 
@@ -28,7 +31,13 @@ from typing import List, Optional
 
 from repro.topology import Dragonfly, validate_topology
 
-__all__ = ["main", "parse_pattern", "parse_policy", "parse_topology"]
+__all__ = [
+    "main",
+    "parse_loads",
+    "parse_pattern",
+    "parse_policy",
+    "parse_topology",
+]
 
 
 def parse_topology(spec: str, arrangement: str = "absolute") -> Dragonfly:
@@ -102,6 +111,49 @@ def parse_policy(spec: Optional[str]):
         f"unknown policy {spec!r}: use all | hopclass:L[,FRAC] | "
         f"strategic:2+3|3+2"
     )
+
+
+def parse_loads(spec: str) -> List[float]:
+    """``0.05,0.1,0.2`` (explicit) or ``0.05:0.4:8`` (lo:hi:count)."""
+    try:
+        if ":" in spec:
+            lo_s, hi_s, n_s = spec.split(":")
+            lo, hi, n = float(lo_s), float(hi_s), int(n_s)
+            if n < 1:
+                raise ValueError
+            if n == 1:
+                return [lo]
+            step = (hi - lo) / (n - 1)
+            return [lo + step * i for i in range(n)]
+        return [float(x) for x in spec.split(",") if x]
+    except ValueError:
+        raise SystemExit(
+            f"bad loads spec {spec!r}: use L1,L2,... or LO:HI:COUNT"
+        )
+
+
+def _make_executor(args):
+    """A SweepExecutor from common --jobs/--cache/--cache-dir flags."""
+    from repro.perf import SimCache, SweepExecutor
+
+    cache = None
+    if getattr(args, "cache", False):
+        cache = SimCache(getattr(args, "cache_dir", None))
+    return SweepExecutor(jobs=getattr(args, "jobs", None), cache=cache)
+
+
+def _exec_args(p, jobs_default=None):
+    """Attach the shared --jobs/--cache/--cache-dir flags to a parser."""
+    p.add_argument("--jobs", type=int, default=jobs_default,
+                   help="worker processes for independent simulation "
+                        "points (default: $REPRO_JOBS or 1)")
+    p.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="reuse simulation results from the on-disk cache "
+                        "(--no-cache disables; default off)")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache root (default: $REPRO_CACHE_DIR or "
+                        "~/.cache/repro-sim)")
 
 
 # ---------------------------------------------------------------------------
@@ -205,17 +257,71 @@ def _cmd_sim(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.sim import SimParams
+    from repro.sim.sweep import latency_vs_load
+
+    topo = parse_topology(args.topology, args.arrangement)
+    pattern = parse_pattern(topo, args.pattern)
+    policy = (
+        parse_policy(args.policy)
+        if args.routing.startswith("t-") or args.policy
+        else None
+    )
+    loads = parse_loads(args.loads)
+    params = SimParams(window_cycles=args.window, verify=args.verify)
+    with _make_executor(args) as executor:
+        sweep = latency_vs_load(
+            topo,
+            pattern,
+            loads,
+            routing=args.routing,
+            policy=policy,
+            params=params,
+            seed=args.seed,
+            stop_after_saturation=not args.no_stop,
+            executor=executor,
+        )
+        print(
+            f"{topo} {pattern.describe()} {args.routing} "
+            f"policy={sweep.policy_label} [{executor.describe()}]"
+        )
+        print(f"  {'load':>6} {'latency':>9} {'accepted':>9}  sat")
+        for load, latency, accepted, saturated in sweep.rows():
+            print(
+                f"  {load:6.3f} {latency:9.1f} {accepted:9.4f}  "
+                f"{'yes' if saturated else 'no'}"
+            )
+        print(f"  saturation throughput: {sweep.saturation_throughput():.4f}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.perf.bench import main as bench_main
+
+    argv = ["--out", args.out, "--topology", args.topology,
+            "--window", str(args.window), "--jobs", str(args.jobs),
+            "--points", str(args.points)]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.quick:
+        argv.append("--quick")
+    return bench_main(argv)
+
+
 def _cmd_tvlb(args) -> int:
     from repro.core import compute_tvlb
     from repro.routing.serialization import save_policy
     from repro.sim import SimParams
 
     topo = parse_topology(args.topology, args.arrangement)
-    res = compute_tvlb(
-        topo,
-        sim_params=SimParams(window_cycles=args.window),
-        seed=args.seed,
-    )
+    with _make_executor(args) as executor:
+        res = compute_tvlb(
+            topo,
+            sim_params=SimParams(window_cycles=args.window),
+            seed=args.seed,
+            executor=executor,
+        )
     print(f"T-VLB for {topo}: {res.label}")
     print(f"converged to conventional UGAL: {res.converged_to_ugal}")
     for cand in res.candidates:
@@ -315,12 +421,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "simulating (repro.verify pre-flight gate)")
     p.set_defaults(func=_cmd_sim)
 
+    p = sub.add_parser(
+        "sweep", help="latency-vs-load ladder (parallel/cached)"
+    )
+    topo_args(p)
+    p.add_argument("--pattern", default="shift:1")
+    p.add_argument("--routing", default="ugal-l")
+    p.add_argument("--policy", default=None)
+    p.add_argument("--loads", default="0.05:0.40:8",
+                   help="L1,L2,... or LO:HI:COUNT (default 0.05:0.40:8)")
+    p.add_argument("--window", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-stop", action="store_true",
+                   help="simulate every load even past saturation")
+    p.add_argument("--verify", action="store_true",
+                   help="statically verify the configuration before "
+                        "simulating (repro.verify pre-flight gate)")
+    _exec_args(p)
+    p.set_defaults(func=_cmd_sweep)
+
     p = sub.add_parser("tvlb", help="run Algorithm 1")
     topo_args(p)
     p.add_argument("--window", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--save", default=None,
                    help="write the chosen policy to this JSON file")
+    _exec_args(p)
     p.set_defaults(func=_cmd_tvlb)
 
     p = sub.add_parser(
@@ -359,6 +485,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--json", default=None,
                    help="also save a JSON record to this path")
     p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser(
+        "bench", help="performance benchmarks -> BENCH_sim.json"
+    )
+    p.add_argument("--topology", "-t", default="4,8,4,9")
+    p.add_argument("--out", default="BENCH_sim.json")
+    p.add_argument("--window", type=int, default=300)
+    p.add_argument("--jobs", type=int, default=8)
+    p.add_argument("--points", type=int, default=8)
+    p.add_argument("--cache-dir", default=None)
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -39,12 +39,13 @@ from repro.routing.pathset import (
     StrategicFiveHopPolicy,
 )
 from repro.sim.params import SimParams
-from repro.sim.sweep import latency_vs_load
+from repro.sim.sweep import LoadSweep, latency_vs_load
 from repro.topology.dragonfly import Dragonfly
 from repro.traffic.adversarial import type_1_set, type_2_set
 from repro.traffic.patterns import Shift
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.perf.executor import SweepExecutor
     from repro.verify.report import VerifyReport
 
 __all__ = [
@@ -146,21 +147,61 @@ def simulation_evaluator(
     num_patterns: int = 5,
     loads: Sequence[float] = (0.15, 0.25, 0.35, 0.45),
     seed: int = 0,
+    executor: Optional["SweepExecutor"] = None,
 ) -> Evaluator:
     """Step-2 scoring: mean simulated saturation throughput on TYPE_2
-    patterns (the paper simulates 5 of them and averages)."""
+    patterns (the paper simulates 5 of them and averages).
+
+    With an ``executor``, all (pattern, load) points of a candidate's
+    evaluation are submitted as one batch -- the 5-pattern evaluation
+    fans out across worker processes and repeated points (e.g. the
+    ``all VLB`` candidate re-scored across Algorithm 1 runs) come from
+    the result cache.  Scores are identical to the serial path.
+    """
     params = params if params is not None else SimParams(window_cycles=300)
     patterns = type_2_set(topo, count=num_patterns, seed=seed + 1000)
 
     def evaluate(policy: PathPolicy, label: str) -> float:
+        conventional = isinstance(policy, AllVlbPolicy)
+        variant = routing if conventional else f"t-{routing}"
+        run_policy = None if conventional else policy
+        if executor is not None:
+            from repro.perf.executor import SimTask
+
+            flat = executor.run(
+                [
+                    SimTask(
+                        topo,
+                        pattern,
+                        load,
+                        routing=variant,
+                        policy=run_policy,
+                        params=params,
+                        seed=seed,
+                    )
+                    for pattern in patterns
+                    for load in loads
+                ]
+            )
+            scores = []
+            for i in range(len(patterns)):
+                chunk = flat[i * len(loads) : (i + 1) * len(loads)]
+                sweep = LoadSweep(routing=variant, policy_label=label)
+                # same truncation as the serial ladder's early stop
+                for result in chunk:
+                    sweep.results.append(result)
+                    if result.saturated:
+                        break
+                scores.append(sweep.saturation_throughput())
+            return float(np.mean(scores))
         scores = []
         for pattern in patterns:
             sweep = latency_vs_load(
                 topo,
                 pattern,
                 loads,
-                routing=routing if isinstance(policy, AllVlbPolicy) else f"t-{routing}",
-                policy=None if isinstance(policy, AllVlbPolicy) else policy,
+                routing=variant,
+                policy=run_policy,
                 params=params,
                 seed=seed,
             )
@@ -186,6 +227,7 @@ def compute_tvlb(
     verify: bool = True,
     seed: int = 0,
     datapoints: Optional[Sequence[HopClassPolicy]] = None,
+    executor: Optional["SweepExecutor"] = None,
 ) -> TvlbResult:
     """Run Algorithm 1 and return the T-VLB policy for ``topo``.
 
@@ -268,6 +310,7 @@ def compute_tvlb(
         evaluator = simulation_evaluator(
             topo, routing=routing, params=sim_params, seed=seed,
             num_patterns=min(num_type2, 5) or 2,
+            executor=executor,
         )
     for label, policy in candidates:
         report: Optional[BalanceReport] = None

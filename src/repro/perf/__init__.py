@@ -1,0 +1,23 @@
+"""Execution-performance layer: parallel sweeps, result cache, benchmarks.
+
+* :mod:`repro.perf.executor` -- :class:`SweepExecutor`, a process-pool
+  fan-out for batches of independent ``simulate()`` points with a serial
+  fallback and deterministic result ordering;
+* :mod:`repro.perf.cache` -- :class:`SimCache`, the content-addressed
+  on-disk ``SimResult`` store with versioned invalidation;
+* :mod:`repro.perf.bench` -- the benchmark harness behind
+  ``python -m repro bench`` and ``BENCH_sim.json``.
+"""
+
+from repro.perf.cache import CACHE_VERSION, SimCache, default_cache_dir
+from repro.perf.executor import SimTask, SweepExecutor, default_jobs, run_task
+
+__all__ = [
+    "CACHE_VERSION",
+    "SimCache",
+    "SimTask",
+    "SweepExecutor",
+    "default_cache_dir",
+    "default_jobs",
+    "run_task",
+]

@@ -1,0 +1,515 @@
+"""Performance benchmark harness -- the source of ``BENCH_sim.json``.
+
+Two benchmark families:
+
+* **Engine microbenchmark** -- cycles/second of the per-cycle engine
+  (deliver / crossbar / transmit) under MIN routing, where routing-side
+  work is negligible and the measurement isolates the network hot path.
+  The baseline is :class:`LegacyNetwork`, a faithful reimplementation of
+  the seed engine's data structures (per-cycle ``sorted`` round-robin,
+  dict port budgets, dict-of-lists event buckets) layered on the current
+  :class:`~repro.sim.network.Network`; it produces bit-identical results,
+  so the speedup ratio measures exactly the data-structure work.
+* **Sweep wall-clock** -- an N-point latency-vs-load ladder executed
+  serially, through a process pool (``--jobs``), and through a warm
+  on-disk cache, asserting that all three return identical results.
+
+``python -m repro bench`` (or ``python -m repro.perf.bench``) writes the
+JSON trajectory record; see ``docs/performance.md`` for how to read it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.perf.cache import SimCache
+from repro.perf.executor import SweepExecutor
+from repro.sim.network import Network, Router, SimChannel
+from repro.sim.packet import Packet
+from repro.sim.params import SimParams
+from repro.sim.sweep import latency_vs_load
+from repro.topology.dragonfly import Dragonfly
+from repro.traffic.patterns import UniformRandom
+
+__all__ = [
+    "LegacyNetwork",
+    "LegacyRouter",
+    "LegacySimChannel",
+    "bench_engine",
+    "bench_sweep",
+    "legacy_engine",
+    "main",
+    "run_benchmarks",
+]
+
+
+class LegacySimChannel(SimChannel):
+    """Seed-faithful channel: ``load_metric`` re-sums credits per call."""
+
+    __slots__ = ()
+
+    def load_metric(self) -> int:
+        committed = self.buffer_size * len(self.credits) - sum(self.credits)
+        return len(self.out_queue) + committed
+
+
+class LegacyRouter(Router):
+    """Seed-faithful router: occupied input slots tracked in a ``set``."""
+
+    __slots__ = ()
+
+    def __init__(self, idx: int, num_ports: int, num_vcs: int) -> None:
+        super().__init__(idx, num_ports, num_vcs)
+        self.active = set()  # type: ignore[assignment]
+
+    def activate(self, slot: int) -> None:
+        self.active.add(slot)
+
+    def deactivate(self, slot: int) -> None:
+        self.active.discard(slot)
+
+
+class LegacyNetwork(Network):
+    """The seed engine's hot-path data structures, for baseline timing.
+
+    Reimplements the pre-optimization per-cycle phases: future events in
+    ``dict`` buckets keyed by cycle, round-robin order via a per-cycle
+    ``sorted(...)`` with a modular key, crossbar budgets in dicts keyed by
+    port / ``id(channel)``, occupied input slots in per-router ``set``s,
+    and an O(num_vcs) ``load_metric`` that re-sums credit counters on
+    every query.  Credit totals are still maintained (a few integer adds)
+    so the optimized :meth:`SimChannel.load_metric` invariants stay
+    consistent; work lists stay insertion-ordered dicts so both engines
+    see identical event orderings and produce bit-identical results.
+    """
+
+    channel_cls = LegacySimChannel
+    router_cls = LegacyRouter
+
+    def __init__(self, topo, params, num_vcs) -> None:
+        super().__init__(topo, params, num_vcs)
+        self._deliveries: Dict[int, List[Tuple[SimChannel, Packet]]] = {}
+        self._credit_returns: Dict[
+            int, List[Tuple[SimChannel, int, int]]
+        ] = {}
+        # seed work list: channels with queued output flits, scanned every
+        # cycle (insertion-ordered for run-to-run determinism)
+        self._busy_channels: Dict[SimChannel, None] = {}
+
+    def inject(self, packet: Packet) -> None:
+        channel = self.inject_channels[packet.src_node]
+        channel.out_queue.append(packet)
+        self._busy_channels[channel] = None
+
+    def _deliver(self) -> None:
+        returns = self._credit_returns.pop(self.cycle, None)
+        if returns:
+            for channel, vc, count in returns:
+                channel.credits[vc] += count
+                channel.credit_total += count
+        items = self._deliveries.pop(self.cycle, None)
+        if not items:
+            return
+        for channel, packet in items:
+            if channel.is_ejection:
+                self.on_eject(packet, self.cycle)
+                continue
+            router = self.routers[channel.dst_router]
+            if packet.hop == 1 and packet.revisable and self.on_arrival:
+                self.on_arrival(packet, router.idx)
+            slot = router.slot(channel.dst_port, packet.current_vc)
+            router.queues[slot].append(packet)
+            router.active.add(slot)
+            self._active_routers[router.idx] = None
+            packet.arrived_channel = channel
+
+    def _crossbar(self) -> None:
+        speedup = self.params.speedup
+        num_vcs = self.num_vcs
+        psize = self.params.packet_size
+        for ridx in list(self._active_routers):
+            router = self.routers[ridx]
+            if not router.active:
+                del self._active_routers[ridx]
+                continue
+            if len(router.active) == 1:
+                order = list(router.active)
+            else:
+                total = router.num_ports * num_vcs
+                rr = router.rr
+                order = sorted(router.active, key=lambda s: (s - rr) % total)
+            router.rr = (router.rr + 1) % (router.num_ports * num_vcs)
+            in_budget: Dict[int, int] = {}
+            out_budget: Dict[int, int] = {}
+            for slot in order:
+                queue = router.queues[slot]
+                if not queue:
+                    router.active.discard(slot)
+                    continue
+                port = slot // num_vcs
+                if in_budget.get(port, 0) >= speedup:
+                    continue
+                packet = queue[0]
+                ejecting = packet.hop >= packet.path_hops
+                if ejecting:
+                    out_channel = self.eject_channels[packet.dst_node]
+                    next_vc = 0
+                else:
+                    out_channel = packet.route[packet.hop]
+                    next_vc = packet.next_vc
+                out_key = id(out_channel)
+                if out_budget.get(out_key, 0) >= speedup:
+                    continue
+                if len(out_channel.out_queue) >= out_channel.out_capacity:
+                    continue
+                if not ejecting and out_channel.credits[next_vc] < psize:
+                    continue
+                queue.popleft()
+                if not queue:
+                    router.active.discard(slot)
+                in_budget[port] = in_budget.get(port, 0) + 1
+                out_budget[out_key] = out_budget.get(out_key, 0) + 1
+                arrived = packet.arrived_channel
+                if arrived is not None:
+                    when = self.cycle + arrived.latency
+                    self._credit_returns.setdefault(when, []).append(
+                        (arrived, packet.current_vc, psize)
+                    )
+                if not ejecting:
+                    out_channel.credits[next_vc] -= psize
+                    out_channel.credit_total -= psize
+                    packet.current_vc = next_vc
+                    packet.hop += 1
+                out_channel.out_queue.append(packet)
+                self._busy_channels[out_channel] = None
+            if not router.active:
+                self._active_routers.pop(ridx, None)
+
+    def _transmit(self) -> None:
+        psize = self.params.packet_size
+        tail_delay = psize - 1
+        done = []
+        for channel in self._busy_channels:
+            if not channel.out_queue:
+                done.append(channel)
+                continue
+            if self.cycle < channel.busy_until:
+                continue
+            if channel.src_router is None and not channel.is_ejection:
+                packet = channel.out_queue[0]
+                vc = packet.next_vc if packet.path_hops else 0
+                if channel.credits[vc] < psize:
+                    continue
+                channel.credits[vc] -= psize
+                channel.credit_total -= psize
+                packet.current_vc = vc
+                channel.out_queue.popleft()
+                when = self.cycle + channel.latency + tail_delay
+            else:
+                packet = channel.out_queue.popleft()
+                when = self.cycle + channel.latency + tail_delay
+                if not channel.is_ejection:
+                    when += self.params.router_latency
+            channel.busy_until = self.cycle + psize
+            channel.flits_sent += psize
+            self._deliveries.setdefault(when, []).append((channel, packet))
+            if not channel.out_queue:
+                done.append(channel)
+        for channel in done:
+            self._busy_channels.pop(channel, None)
+
+    def quiescent(self) -> bool:
+        return (
+            not self._busy_channels
+            and not self._deliveries
+            and not self._credit_returns
+            and self.in_flight() == 0
+        )
+
+    def in_flight(self) -> int:
+        total = sum(len(items) for items in self._deliveries.values())
+        for router in self.routers:
+            for q in router.queues:
+                total += len(q)
+        for channel in self.channels.values():
+            total += len(channel.out_queue)
+        for channel in self.eject_channels:
+            total += len(channel.out_queue)
+        return total
+
+
+@contextmanager
+def legacy_engine():
+    """Run ``simulate()`` on :class:`LegacyNetwork` inside this context."""
+    import repro.sim.engine as engine_module
+
+    original = engine_module.Network
+    engine_module.Network = LegacyNetwork
+    try:
+        yield
+    finally:
+        engine_module.Network = original
+
+
+# ---------------------------------------------------------------------------
+# Benchmarks
+# ---------------------------------------------------------------------------
+def _time_steps(topo, pattern, load, routing, params, seed) -> Tuple:
+    """Run one ``simulate()`` and time only ``Network.step`` calls.
+
+    The accumulator wraps :meth:`Network.step` (inherited by
+    :class:`LegacyNetwork`, so the same wrapper times both engines) and
+    sums a ``perf_counter`` interval around each cycle.  Injection,
+    routing decisions, and warmup/drain bookkeeping in ``simulate()`` are
+    identical code in both engines and are excluded, so the ratio
+    measures the deliver/crossbar/transmit phases the refactor touched.
+    """
+    from repro.sim.engine import simulate
+
+    acc = [0.0, 0]
+    original = Network.step
+
+    def step(self):
+        start = time.perf_counter()
+        original(self)
+        acc[0] += time.perf_counter() - start
+        acc[1] += 1
+
+    Network.step = step
+    try:
+        result = simulate(
+            topo, pattern, load, routing=routing, params=params, seed=seed
+        )
+    finally:
+        Network.step = original
+    return acc[0], acc[1], result
+
+
+def bench_engine(
+    topo: Optional[Dragonfly] = None,
+    *,
+    window_cycles: int = 600,
+    load: float = 1.0,
+    routing: str = "min",
+    seed: int = 1,
+    repeats: int = 5,
+) -> Dict:
+    """Engine cycles/second, optimized vs the legacy reference baseline.
+
+    MIN routing keeps the routing layer trivial (cached single-path
+    decisions) and the saturating default load keeps buffers deep, so the
+    per-cycle deliver/crossbar/transmit phases dominate ``step()`` time;
+    a long window lets queue occupancy build up, which is exactly the
+    regime the engine refactor targets (the legacy per-cycle ``sorted``
+    cost grows with the occupied-slot count).
+    Timing is step-only (see :func:`_time_steps`); the two engines run in
+    interleaved optimized/legacy pairs so slow drift in background load
+    hits both equally, and the record reports best-of-``repeats`` per
+    engine -- the minimum is the standard noise-robust estimator, since
+    scheduler interference only ever adds time.  Both engines must
+    produce bit-identical results (asserted in the record).
+    """
+    topo = topo if topo is not None else Dragonfly(4, 8, 4, 9)
+    params = SimParams(window_cycles=window_cycles)
+    pattern = UniformRandom(topo)
+
+    best_opt, best_leg = float("inf"), float("inf")
+    cycles_opt = cycles_leg = 0
+    result_opt = result_leg = None
+    for _ in range(repeats):
+        elapsed, cycles_opt, result_opt = _time_steps(
+            topo, pattern, load, routing, params, seed
+        )
+        best_opt = min(best_opt, elapsed)
+        with legacy_engine():
+            elapsed, cycles_leg, result_leg = _time_steps(
+                topo, pattern, load, routing, params, seed
+            )
+        best_leg = min(best_leg, elapsed)
+
+    identical = (
+        result_opt.avg_latency == result_leg.avg_latency
+        and result_opt.accepted_rate == result_leg.accepted_rate
+        and result_opt.packets_measured == result_leg.packets_measured
+    )
+    return {
+        "topology": str(topo),
+        "routing": routing,
+        "load": load,
+        "window_cycles": window_cycles,
+        "engine_cycles": cycles_opt,
+        "baseline_cycles_per_sec": cycles_leg / best_leg,
+        "optimized_cycles_per_sec": cycles_opt / best_opt,
+        "speedup": (cycles_opt / best_opt) / (cycles_leg / best_leg),
+        "identical_results": identical,
+    }
+
+
+def bench_sweep(
+    topo: Optional[Dragonfly] = None,
+    *,
+    loads: Optional[Sequence[float]] = None,
+    window_cycles: int = 300,
+    routing: str = "ugal-l",
+    seed: int = 0,
+    jobs: int = 8,
+    cache_dir: Optional[str] = None,
+) -> Dict:
+    """Wall-clock of an N-point load ladder: serial vs pool vs warm cache.
+
+    All three executions must return identical result lists; the record
+    includes the host's CPU count since pool speedup is bounded by it.
+    """
+    topo = topo if topo is not None else Dragonfly(4, 8, 4, 9)
+    params = SimParams(window_cycles=window_cycles)
+    pattern = UniformRandom(topo)
+    if loads is None:
+        loads = [0.05 + 0.05 * i for i in range(8)]
+    kwargs = dict(
+        routing=routing,
+        params=params,
+        seed=seed,
+        stop_after_saturation=False,
+    )
+
+    start = time.perf_counter()
+    serial = latency_vs_load(topo, pattern, loads, **kwargs)
+    serial_s = time.perf_counter() - start
+
+    with SweepExecutor(jobs=jobs) as executor:
+        start = time.perf_counter()
+        pooled = latency_vs_load(
+            topo, pattern, loads, executor=executor, **kwargs
+        )
+        parallel_s = time.perf_counter() - start
+
+    cached_s = None
+    if cache_dir is not None:
+        cache = SimCache(cache_dir)
+        with SweepExecutor(jobs=1, cache=cache) as executor:
+            # first pass fills the cache, second pass times the hits
+            latency_vs_load(topo, pattern, loads, executor=executor, **kwargs)
+            start = time.perf_counter()
+            cached = latency_vs_load(
+                topo, pattern, loads, executor=executor, **kwargs
+            )
+            cached_s = time.perf_counter() - start
+        assert cached.rows() == serial.rows(), "cache changed sweep results"
+
+    identical = pooled.rows() == serial.rows()
+    return {
+        "topology": str(topo),
+        "routing": routing,
+        "loads": list(loads),
+        "window_cycles": window_cycles,
+        "jobs": jobs,
+        "cpus": os.cpu_count() or 1,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "parallel_speedup": serial_s / parallel_s if parallel_s else None,
+        "cached_seconds": cached_s,
+        "cached_speedup": (serial_s / cached_s) if cached_s else None,
+        "identical_results": identical,
+    }
+
+
+def run_benchmarks(
+    *,
+    topology: str = "4,8,4,9",
+    window_cycles: int = 300,
+    engine_window: int = 600,
+    jobs: int = 8,
+    sweep_points: int = 8,
+    cache_dir: Optional[str] = None,
+    quick: bool = False,
+) -> Dict:
+    """Run both benchmark families and return the trajectory record."""
+    p, a, h, g = (int(x) for x in topology.split(","))
+    topo = Dragonfly(p, a, h, g)
+    if quick:
+        window_cycles = min(window_cycles, 150)
+        engine_window = min(engine_window, 150)
+        sweep_points = min(sweep_points, 4)
+    loads = [0.05 + 0.05 * i for i in range(sweep_points)]
+    record = {
+        "bench": "repro.perf",
+        "version": 1,
+        "python": platform.python_version(),
+        "cpus": os.cpu_count() or 1,
+        "engine_microbench": bench_engine(
+            topo,
+            window_cycles=engine_window,
+            repeats=1 if quick else 5,
+        ),
+        "sweep": bench_sweep(
+            topo,
+            loads=loads,
+            window_cycles=window_cycles,
+            jobs=jobs,
+            cache_dir=cache_dir,
+        ),
+    }
+    return record
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="engine + sweep performance benchmarks (BENCH_sim.json)",
+    )
+    parser.add_argument("--out", default="BENCH_sim.json",
+                        help="output JSON path (default BENCH_sim.json)")
+    parser.add_argument("--topology", "-t", default="4,8,4,9")
+    parser.add_argument("--window", type=int, default=300,
+                        help="sweep measurement window cycles (default 300)")
+    parser.add_argument("--engine-window", type=int, default=600,
+                        help="engine microbench window cycles (default 600)")
+    parser.add_argument("--jobs", type=int, default=8,
+                        help="worker processes for the sweep bench")
+    parser.add_argument("--points", type=int, default=8,
+                        help="loads in the sweep ladder (default 8)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="also time a warm-cache sweep using this dir")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced windows/points for CI smoke runs")
+    args = parser.parse_args(argv)
+
+    record = run_benchmarks(
+        topology=args.topology,
+        window_cycles=args.window,
+        engine_window=args.engine_window,
+        jobs=args.jobs,
+        sweep_points=args.points,
+        cache_dir=args.cache_dir,
+        quick=args.quick,
+    )
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+
+    eng = record["engine_microbench"]
+    swp = record["sweep"]
+    print(f"engine: {eng['baseline_cycles_per_sec']:.0f} -> "
+          f"{eng['optimized_cycles_per_sec']:.0f} cycles/s "
+          f"({eng['speedup']:.2f}x, identical={eng['identical_results']})")
+    print(f"sweep ({len(swp['loads'])} points, jobs={swp['jobs']}, "
+          f"cpus={swp['cpus']}): serial {swp['serial_seconds']:.2f}s, "
+          f"parallel {swp['parallel_seconds']:.2f}s "
+          f"({swp['parallel_speedup']:.2f}x, "
+          f"identical={swp['identical_results']})")
+    if swp["cached_seconds"] is not None:
+        print(f"  warm cache: {swp['cached_seconds']:.3f}s "
+              f"({swp['cached_speedup']:.0f}x)")
+    print(f"[saved {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

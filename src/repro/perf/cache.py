@@ -1,0 +1,263 @@
+"""Content-addressed on-disk cache of :class:`SimResult` records.
+
+Every paper figure re-runs dozens of ``simulate()`` points, and many of
+them -- the same (topology, pattern, routing, policy, params, seed, load)
+tuple -- recur across figures, Algorithm 1 invocations, and replication
+sweeps.  This module gives each such point a stable content hash and
+stores its result as one small JSON file, so a repeated point costs a
+file read instead of a cycle-accurate simulation.
+
+Key design points:
+
+* **Content addressing.**  The key is a SHA-256 over a canonical JSON
+  fingerprint of everything that determines a run's outcome: the topology
+  spec, the traffic pattern spec (including any frozen random state, e.g.
+  a permutation's dest map), the routing variant, the path policy
+  (via ``repro.routing.serialization``), every ``SimParams`` field, the
+  seed, and the offered load.  Changing any of these changes the key.
+* **Versioned invalidation.**  ``CACHE_VERSION`` is part of both the hash
+  input and the on-disk directory layout (``<root>/v<N>/``); bump it
+  whenever the simulator's observable behaviour changes and every stale
+  entry is orphaned at once.
+* **Conservative fingerprinting.**  A pattern or policy the module cannot
+  fingerprint exactly makes the whole task *uncacheable* (``None`` key)
+  rather than risking a false hit.
+
+Layout: ``<root>/v<N>/<hash[:2]>/<hash>.json`` -- two-level sharding keeps
+directories small.  Writes are atomic (temp file + ``os.replace``), so a
+cache shared by parallel sweep workers never exposes torn entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from typing import Dict, Optional
+
+from repro.routing.pathset import PathPolicy
+from repro.routing.serialization import policy_to_dict
+from repro.sim.params import SimParams
+from repro.sim.stats import SimResult
+from repro.topology.dragonfly import Dragonfly
+from repro.traffic.mixed import Mixed, TimeMixed
+from repro.traffic.patterns import (
+    GroupSwitchPermutation,
+    RandomPermutation,
+    Shift,
+    TrafficPattern,
+    UniformRandom,
+    _FixedPattern,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "SimCache",
+    "default_cache_dir",
+    "fingerprint",
+    "pattern_fingerprint",
+    "policy_fingerprint",
+    "result_from_dict",
+    "result_to_dict",
+    "topology_fingerprint",
+]
+
+# Bump when simulate()'s observable behaviour changes (engine semantics,
+# SimResult fields, default parameter meanings): old entries are then
+# ignored wholesale because they live under a different v<N>/ directory.
+CACHE_VERSION = 1
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` or the platform user-cache fallback."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro-sim")
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+def topology_fingerprint(topo: Dragonfly) -> Dict:
+    """Identity of a topology: class, (p, a, h, g), arrangement."""
+    return {
+        "cls": type(topo).__name__,
+        "p": topo.p,
+        "a": topo.a,
+        "h": topo.h,
+        "g": topo.g,
+        "arrangement": topo.arrangement,
+    }
+
+
+def pattern_fingerprint(pattern: TrafficPattern) -> Optional[Dict]:
+    """Identity of a traffic pattern, or ``None`` when not fingerprintable.
+
+    Seed-bearing patterns are identified by their frozen random state (the
+    dest map / node-role assignment), so two instances built with the same
+    seed share a fingerprint while different seeds never collide.
+    """
+    if isinstance(pattern, UniformRandom):
+        return {"kind": "ur"}
+    if isinstance(pattern, Shift):
+        return {"kind": "shift", "dg": pattern.dg, "ds": pattern.ds}
+    if isinstance(pattern, RandomPermutation):
+        return {"kind": "perm", "seed": pattern.seed}
+    if isinstance(pattern, GroupSwitchPermutation):
+        return {"kind": "type2", "seed": pattern.seed}
+    if isinstance(pattern, (Mixed, TimeMixed)):
+        adv = pattern_fingerprint(pattern.adv)
+        if adv is None:
+            return None
+        fp: Dict = {
+            "kind": "mixed" if isinstance(pattern, Mixed) else "tmixed",
+            "ur": pattern.ur_percent,
+            "adv_pct": pattern.adv_percent,
+            "adv": adv,
+        }
+        if isinstance(pattern, Mixed):
+            # the fixed node-role assignment (captures the seed)
+            fp["roles"] = hashlib.sha256(
+                pattern.is_ur.tobytes()
+            ).hexdigest()[:16]
+        return fp
+    if isinstance(pattern, _FixedPattern):
+        # any fixed pattern is exactly its destination map
+        return {
+            "kind": "fixed",
+            "cls": type(pattern).__name__,
+            "dest": hashlib.sha256(pattern.dest_map.tobytes()).hexdigest(),
+        }
+    return None  # scheduled traces, ad-hoc subclasses: do not cache
+
+
+def policy_fingerprint(policy: Optional[PathPolicy]) -> Optional[Dict]:
+    """Identity of a path policy (``{}`` for no policy), or ``None``."""
+    if policy is None:
+        return {}
+    try:
+        return policy_to_dict(policy)
+    except TypeError:
+        return None  # unknown policy type: do not cache
+
+
+def fingerprint(
+    topo: Dragonfly,
+    pattern: TrafficPattern,
+    load: float,
+    *,
+    routing: str,
+    policy: Optional[PathPolicy],
+    params: Optional[SimParams],
+    seed: int,
+) -> Optional[str]:
+    """SHA-256 key of one ``simulate()`` point, or ``None`` (uncacheable)."""
+    pat_fp = pattern_fingerprint(pattern)
+    if pat_fp is None:
+        return None
+    pol_fp = policy_fingerprint(policy)
+    if pol_fp is None:
+        return None
+    record = {
+        "version": CACHE_VERSION,
+        "topology": topology_fingerprint(topo),
+        "pattern": pat_fp,
+        "load": float(load),
+        "routing": routing.lower(),
+        "policy": pol_fp,
+        "params": dataclasses.asdict(
+            params if params is not None else SimParams()
+        ),
+        "seed": int(seed),
+    }
+    blob = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# SimResult (de)serialization
+# ---------------------------------------------------------------------------
+def result_to_dict(result: SimResult) -> Dict:
+    return dataclasses.asdict(result)
+
+
+def result_from_dict(data: Dict) -> SimResult:
+    return SimResult(**data)
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+class SimCache:
+    """On-disk result store addressed by :func:`fingerprint` keys."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root if root is not None else default_cache_dir()
+        self.dir = os.path.join(self.root, f"v{CACHE_VERSION}")
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.dir, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[SimResult]:
+        """The cached result for ``key``, or ``None`` on a miss."""
+        try:
+            with open(self.path_for(key)) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if data.get("version") != CACHE_VERSION:
+            self.misses += 1
+            return None
+        try:
+            result = result_from_dict(data["result"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimResult) -> None:
+        """Atomically store a result (concurrent writers are safe)."""
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {"version": CACHE_VERSION, "result": result_to_dict(result)}
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        count = 0
+        if not os.path.isdir(self.dir):
+            return 0
+        for _root, _dirs, files in os.walk(self.dir):
+            count += sum(1 for f in files if f.endswith(".json"))
+        return count
+
+    def clear(self) -> None:
+        """Remove every entry of the *current* cache version."""
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+    def describe(self) -> str:
+        return (
+            f"SimCache({self.dir}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,197 @@
+"""Process-pool execution of independent ``simulate()`` points.
+
+Every experiment in the paper -- a latency-vs-load ladder, a saturation
+bisection frontier, a multi-seed replication, Algorithm 1 Step 2's
+5-pattern evaluation -- reduces to a batch of *independent* simulation
+points.  :class:`SweepExecutor` fans such a batch out across worker
+processes and returns results in task order, optionally short-circuiting
+each point through the on-disk :class:`~repro.perf.cache.SimCache`.
+
+Guarantees:
+
+* **Determinism.**  A task is fully described by picklable inputs (the
+  topology, a pattern object with frozen random state, routing, policy,
+  params, seed, load) and ``simulate()`` is a pure function of them, so
+  the parallel path returns bit-identical results to the serial path and
+  result order never depends on completion order.
+* **Graceful degradation.**  ``jobs=1``, a single-task batch, or a host
+  where process pools cannot be created (sandboxes without fork/semaphore
+  support) all run serially in-process -- same results, no crash.
+
+The worker entry point is the module-level :func:`run_task`, so both the
+``fork`` and ``spawn`` multiprocessing start methods work.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.perf.cache import SimCache, fingerprint
+from repro.routing.pathset import PathPolicy
+from repro.sim.engine import simulate
+from repro.sim.params import SimParams
+from repro.sim.stats import SimResult
+from repro.topology.dragonfly import Dragonfly
+from repro.traffic.patterns import TrafficPattern
+
+__all__ = ["SimTask", "SweepExecutor", "default_jobs", "run_task"]
+
+
+def default_jobs() -> int:
+    """``$REPRO_JOBS`` if set, else 1 (opt-in parallelism)."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+@dataclass
+class SimTask:
+    """One independent ``simulate()`` invocation (picklable)."""
+
+    topo: Dragonfly
+    pattern: TrafficPattern
+    load: float
+    routing: str = "ugal-l"
+    policy: Optional[PathPolicy] = None
+    params: Optional[SimParams] = None
+    seed: int = 0
+
+    def key(self) -> Optional[str]:
+        """Content-address of this task (``None`` = uncacheable)."""
+        return fingerprint(
+            self.topo,
+            self.pattern,
+            self.load,
+            routing=self.routing,
+            policy=self.policy,
+            params=self.params,
+            seed=self.seed,
+        )
+
+
+def run_task(task: SimTask) -> SimResult:
+    """Worker entry point: execute one task (also the serial path)."""
+    return simulate(
+        task.topo,
+        task.pattern,
+        task.load,
+        routing=task.routing,
+        policy=task.policy,
+        params=task.params,
+        seed=task.seed,
+    )
+
+
+class SweepExecutor:
+    """Runs batches of :class:`SimTask` with optional pool and cache.
+
+    ``jobs`` is the worker-process count (default: ``$REPRO_JOBS`` or 1);
+    ``cache`` an optional :class:`SimCache` consulted before simulating
+    and filled afterwards.  The executor is reusable across batches (the
+    pool persists until :meth:`close`) and usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[SimCache] = None,
+    ) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.cache = cache
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_broken = False
+        # batch statistics (cumulative)
+        self.cache_hits = 0
+        self.computed_parallel = 0
+        self.computed_serial = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def parallel(self) -> bool:
+        return self.jobs > 1 and not self._pool_broken
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self._pool_broken:
+            return None
+        if self._pool is None:
+            try:
+                try:
+                    ctx = multiprocessing.get_context("fork")
+                except ValueError:  # pragma: no cover - non-POSIX hosts
+                    ctx = multiprocessing.get_context()
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs, mp_context=ctx
+                )
+            except (OSError, ValueError):  # pragma: no cover - no mp support
+                self._pool_broken = True
+                return None
+        return self._pool
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[SimTask]) -> List[SimResult]:
+        """Execute a batch; results align index-for-index with ``tasks``."""
+        tasks = list(tasks)
+        results: List[Optional[SimResult]] = [None] * len(tasks)
+        pending: List[tuple] = []  # (index, cache key, task)
+        for i, task in enumerate(tasks):
+            key = task.key() if self.cache is not None else None
+            if key is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[i] = hit
+                    self.cache_hits += 1
+                    continue
+            pending.append((i, key, task))
+
+        if pending:
+            pool = (
+                self._ensure_pool()
+                if self.jobs > 1 and len(pending) > 1
+                else None
+            )
+            if pool is not None:
+                computed = list(
+                    pool.map(run_task, [t for _i, _k, t in pending])
+                )
+                self.computed_parallel += len(pending)
+            else:
+                computed = [run_task(t) for _i, _k, t in pending]
+                self.computed_serial += len(pending)
+            for (i, key, _task), result in zip(pending, computed):
+                results[i] = result
+                if self.cache is not None and key is not None:
+                    self.cache.put(key, result)
+        return results  # type: ignore[return-value]
+
+    def run_one(self, task: SimTask) -> SimResult:
+        """Convenience wrapper: a single point through cache + stats."""
+        return self.run([task])[0]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        mode = f"jobs={self.jobs}" if self.parallel else "serial"
+        cache = "no cache" if self.cache is None else self.cache.describe()
+        return (
+            f"SweepExecutor({mode}, {cache}, hits={self.cache_hits}, "
+            f"parallel={self.computed_parallel}, "
+            f"serial={self.computed_serial})"
+        )

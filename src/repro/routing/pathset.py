@@ -43,6 +43,7 @@ __all__ = [
     "StrategicFiveHopPolicy",
     "ExcludingPolicy",
     "ExplicitPathSet",
+    "reset_sample_memo",
 ]
 
 _SAMPLE_ATTEMPTS = 128
@@ -53,6 +54,18 @@ _SAMPLE_ATTEMPTS = 128
 _SPARSE_RESERVOIR = 256
 _SPARSE_MEMO_MAX = 20_000  # pairs; beyond this, reservoirs are not stored
 _sparse_memo: dict = {}
+
+
+def reset_sample_memo() -> None:
+    """Clear the sparse-policy reservoir memo.
+
+    The memo's contents depend on the rng that first populated each
+    entry, so a simulation that inherits another run's reservoirs can
+    draw differently than one starting fresh.  ``simulate()`` clears it
+    at entry so every run is a pure function of its own arguments --
+    which also makes serial and process-pool sweeps bit-identical.
+    """
+    _sparse_memo.clear()
 
 
 def _mix(seed: int, src: int, dst: int, desc: VlbDescriptor) -> int:

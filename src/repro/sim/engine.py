@@ -68,6 +68,13 @@ def simulate(
         raise ValueError("load must be in [0, 1] packets/cycle/node")
     params = params if params is not None else SimParams()
 
+    # drop sampling state inherited from earlier runs in this process, so
+    # the result is a pure function of the arguments (and serial sweeps
+    # match process-pool sweeps bit for bit)
+    from repro.routing.pathset import reset_sample_memo
+
+    reset_sample_memo()
+
     network = build_network(topo, params, routing)
     if params.verify:
         # static pre-flight gate: certify deadlock freedom and path-set

@@ -21,10 +21,31 @@ Per-cycle phases: (1) wire deliveries + credit returns, (2) crossbar
 (switch allocation + traversal), (3) wire transmission from output queues,
 (4) injection.  Only active elements are touched, so cost scales with
 in-flight flits rather than network size.
+
+Hot-path engineering (the structures below are chosen for the per-cycle
+inner loops, see ``docs/performance.md``):
+
+* future events (wire deliveries, credit returns, transmission starts)
+  live in **timing wheels** sized by the maximum schedulable delay rather
+  than a dict of cycle -> list buckets or a per-cycle scan over every
+  channel with queued flits;
+* each router's set of occupied ``(port, vc)`` input slots is a **sorted
+  list**, so the rotating round-robin order is a ring rotation (one bisect
+  plus two slices) instead of a per-cycle ``sorted(...)`` with a modular
+  key;
+* crossbar port budgets are **flat per-port arrays** with a cycle stamp
+  (no clearing, no dict hashing);
+* every channel caches the total of its credit counters so
+  :meth:`SimChannel.load_metric` -- the UGAL congestion estimate queried
+  per routing decision -- is O(1) instead of ``sum(self.credits)``;
+* work lists are wheels or insertion-ordered dicts, never ``set``s of
+  objects, so iteration order (and therefore the whole simulation) is a
+  pure function of the seed rather than of ``id()`` hashes.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
@@ -44,13 +65,19 @@ class SimChannel:
     __slots__ = (
         "src_router",
         "dst_router",
+        "src_port",
         "dst_port",
         "latency",
         "is_global_link",
         "is_ejection",
+        "is_injection",
+        "delivery_delay",
+        "dst_slot_base",
         "out_queue",
         "out_capacity",
         "credits",
+        "credit_total",
+        "credit_capacity",
         "buffer_size",
         "flits_sent",
         "busy_until",
@@ -67,16 +94,27 @@ class SimChannel:
         out_capacity: int,
         is_global_link: bool = False,
         is_ejection: bool = False,
+        src_port: int = 0,
     ) -> None:
         self.src_router = src_router
         self.dst_router = dst_router
+        self.src_port = src_port  # output port at src_router (0 if none)
         self.dst_port = dst_port
         self.latency = latency
         self.is_global_link = is_global_link
         self.is_ejection = is_ejection
+        self.is_injection = src_router is None and not is_ejection
+        # filled by Network.__init__ (depends on SimParams constants):
+        # cycles from transmission start to tail-flit delivery, and the
+        # flattened (dst_port, vc=0) input-slot index downstream
+        self.delivery_delay = latency
+        self.dst_slot_base = dst_port * num_vcs
         self.out_queue: deque = deque()
         self.out_capacity = out_capacity
         self.credits = [buffer_size] * num_vcs
+        # cached sum(self.credits); every credit mutation keeps it current
+        self.credit_total = buffer_size * num_vcs
+        self.credit_capacity = buffer_size * num_vcs
         self.buffer_size = buffer_size
         self.flits_sent = 0  # measurement-window traversals (engine-reset)
         self.busy_until = 0  # wire occupied until this cycle (multi-flit)
@@ -85,29 +123,61 @@ class SimChannel:
         """Locally known congestion of this channel: flits queued at the
         output plus downstream buffer slots currently committed (credits
         spent).  This is what UGAL-L reads for its first hop and UGAL-G
-        sums along the whole path."""
-        committed = self.buffer_size * len(self.credits) - sum(self.credits)
-        return len(self.out_queue) + committed
+        sums along the whole path.  O(1): the credit sum is maintained
+        incrementally by the engine."""
+        return len(self.out_queue) + self.credit_capacity - self.credit_total
 
 
 class Router:
     """Per-router input buffers and round-robin crossbar state."""
 
-    __slots__ = ("idx", "num_ports", "num_vcs", "queues", "active", "rr")
+    __slots__ = (
+        "idx",
+        "num_ports",
+        "num_vcs",
+        "total_slots",
+        "queues",
+        "active",
+        "rr",
+        "in_budget",
+        "in_stamp",
+        "out_budget",
+        "out_stamp",
+    )
 
     def __init__(self, idx: int, num_ports: int, num_vcs: int) -> None:
         self.idx = idx
         self.num_ports = num_ports
         self.num_vcs = num_vcs
+        self.total_slots = num_ports * num_vcs
         # input buffer per (port, vc), flattened
         self.queues: List[deque] = [
             deque() for _ in range(num_ports * num_vcs)
         ]
-        self.active: set = set()  # flat (port, vc) indices with flits
+        # flat (port, vc) indices with flits, kept sorted ascending; the
+        # round-robin order of the crossbar is then a ring rotation
+        self.active: List[int] = []
         self.rr = 0  # rotating arbitration priority
+        # per-cycle crossbar budgets, valid only when stamp == cycle
+        # (stamping avoids clearing the arrays every cycle)
+        self.in_budget = [0] * num_ports
+        self.in_stamp = [-1] * num_ports
+        self.out_budget = [0] * num_ports
+        self.out_stamp = [-1] * num_ports
 
     def slot(self, port: int, vc: int) -> int:
         return port * self.num_vcs + vc
+
+    def activate(self, slot: int) -> None:
+        """Mark an input slot occupied (caller ensures it was empty)."""
+        insort(self.active, slot)
+
+    def deactivate(self, slot: int) -> None:
+        """Mark an input slot drained."""
+        active = self.active
+        i = bisect_left(active, slot)
+        if i < len(active) and active[i] == slot:
+            active.pop(i)
 
 
 class Network:
@@ -117,6 +187,11 @@ class Network:
     intra-group neighbor (``topo.local_neighbors`` order), then global
     ports in the order of ``topo.global_links_of_switch``.
     """
+
+    # overridable element classes (the benchmark harness substitutes
+    # seed-faithful variants to measure the data-structure speedup)
+    channel_cls = SimChannel
+    router_cls = Router
 
     def __init__(
         self, topo: Dragonfly, params: SimParams, num_vcs: int
@@ -129,8 +204,11 @@ class Network:
         p = topo.p
         local_degree = topo.local_degree
         num_ports = topo.radix
+        router_cls = self.router_cls
+        channel_cls = self.channel_cls
         self.routers = [
-            Router(i, num_ports, num_vcs) for i in range(topo.num_switches)
+            router_cls(i, num_ports, num_vcs)
+            for i in range(topo.num_switches)
         ]
 
         # --- switch-to-switch channels, keyed by (src, dst, slot) ---
@@ -142,7 +220,7 @@ class Network:
                 self._local_port[(u, v)] = p + rank
         for u in range(topo.num_switches):
             for v in topo.local_neighbors(u):
-                self.channels[(u, v, LOCAL_SLOT)] = SimChannel(
+                self.channels[(u, v, LOCAL_SLOT)] = channel_cls(
                     u,
                     v,
                     self._local_port[(v, u)],
@@ -150,6 +228,7 @@ class Network:
                     num_vcs,
                     params.buffer_size,
                     params.output_queue_size,
+                    src_port=self._local_port[(u, v)],
                 )
         self._global_port: Dict[Tuple[int, int, int], int] = {}
         for u in range(topo.num_switches):
@@ -162,7 +241,7 @@ class Network:
                 (link.switch_a, link.switch_b),
                 (link.switch_b, link.switch_a),
             ):
-                self.channels[(u, v, link.slot)] = SimChannel(
+                self.channels[(u, v, link.slot)] = channel_cls(
                     u,
                     v,
                     self._global_port[(u, v, link.slot)],
@@ -171,6 +250,7 @@ class Network:
                     params.buffer_size,
                     params.output_queue_size,
                     is_global_link=True,
+                    src_port=self._global_port[(v, u, link.slot)],
                 )
 
         # --- terminal channels ---
@@ -180,7 +260,7 @@ class Network:
             sw = topo.switch_of_node(node)
             term_port = node % p
             self.inject_channels.append(
-                SimChannel(
+                channel_cls(
                     None,
                     sw,
                     term_port,
@@ -191,7 +271,7 @@ class Network:
                 )
             )
             self.eject_channels.append(
-                SimChannel(
+                channel_cls(
                     sw,
                     None,
                     0,
@@ -200,14 +280,63 @@ class Network:
                     params.buffer_size,
                     out_capacity=params.output_queue_size,
                     is_ejection=True,
+                    src_port=term_port,
                 )
             )
 
-        # event buckets: cycle -> work items
-        self._deliveries: Dict[int, List[Tuple[SimChannel, Packet]]] = {}
-        self._credit_returns: Dict[int, List[Tuple[SimChannel, int]]] = {}
-        self._busy_channels: set = set()  # channels with queued output flits
-        self._active_routers: set = set()
+        # --- event timing wheels: slot (cycle % size) -> work items ---
+        # The farthest any event is scheduled ahead is a delivery:
+        # channel latency + router pipeline + packet serialization.
+        max_latency = max(
+            params.local_latency,
+            params.global_latency,
+            params.injection_latency,
+        )
+        self._max_latency = max_latency
+        self._wheel_size = (
+            max_latency + params.router_latency + params.packet_size + 1
+        )
+        # transmission-start -> tail-flit-delivery delay, fixed per channel
+        # (wire latency + serialization + downstream router pipeline)
+        tail_delay = params.packet_size - 1
+        for channel in self.channels.values():
+            channel.delivery_delay = (
+                channel.latency + tail_delay + params.router_latency
+            )
+        for channel in self.inject_channels:
+            channel.delivery_delay = channel.latency + tail_delay
+        for channel in self.eject_channels:
+            channel.delivery_delay = channel.latency + tail_delay
+        self._delivery_wheel: List[List[Tuple[SimChannel, Packet]]] = [
+            [] for _ in range(self._wheel_size)
+        ]
+        # (channel, vc) pairs; every return is exactly packet_size credits
+        self._credit_wheel: List[List[Tuple[SimChannel, int]]] = [
+            [] for _ in range(self._wheel_size)
+        ]
+        # flat slot index -> input port, shared by all routers
+        self._port_of = [
+            s // num_vcs for s in range(num_ports * num_vcs)
+        ]
+        self._pending_deliveries = 0  # packets on wires
+        self._pending_credits = 0  # credit returns in flight
+        # transmit wheel: channels due to start a transmission at a cycle.
+        # A channel is scheduled exactly once while its output queue is
+        # non-empty: on the empty->non-empty transition (at
+        # ``max(now, busy_until)``), then re-scheduled ``packet_size``
+        # cycles after each transmission while flits remain (or next cycle
+        # when an injection channel stalls on terminal credits).  This
+        # replaces the seed's per-cycle scan over every channel with
+        # queued flits.
+        self._transmit_wheel: List[List[SimChannel]] = [
+            [] for _ in range(self._wheel_size)
+        ]
+        self._pending_transmits = 0  # channels scheduled on the wheel
+        # the router work list is an insertion-ordered dict
+        # (dict-as-ordered-set): a set would iterate in hash order, which
+        # for id()-hashed objects would make results depend on memory
+        # layout instead of only on the seed
+        self._active_routers: Dict[int, None] = {}
 
         # hooks filled by the engine
         self.on_eject = None  # callable(packet, cycle)
@@ -228,25 +357,42 @@ class Network:
     # ------------------------------------------------------------------
     def _deliver(self) -> None:
         """Wire arrivals into downstream input buffers; credit returns."""
-        returns = self._credit_returns.pop(self.cycle, None)
+        idx = self.cycle % self._wheel_size
+        returns = self._credit_wheel[idx]
         if returns:
-            for channel, vc, count in returns:
-                channel.credits[vc] += count
-        items = self._deliveries.pop(self.cycle, None)
+            self._credit_wheel[idx] = []
+            self._pending_credits -= len(returns)
+            psize = self.params.packet_size
+            for channel, vc in returns:
+                channel.credits[vc] += psize
+                channel.credit_total += psize
+        items = self._delivery_wheel[idx]
         if not items:
             return
+        self._delivery_wheel[idx] = []
+        self._pending_deliveries -= len(items)
+        routers = self.routers
+        active_routers = self._active_routers
+        on_arrival = self.on_arrival
+        on_eject = self.on_eject
+        cycle = self.cycle
         for channel, packet in items:
             if channel.is_ejection:
-                self.on_eject(packet, self.cycle)
+                on_eject(packet, cycle)
                 continue
-            router = self.routers[channel.dst_router]
-            if packet.hop == 1 and packet.revisable and self.on_arrival:
-                self.on_arrival(packet, router.idx)
+            ridx = channel.dst_router
+            router = routers[ridx]
+            if packet.revisable and packet.hop == 1 and on_arrival:
+                on_arrival(packet, ridx)
             # the flit occupies the buffer of the VC it traveled on
-            slot = router.slot(channel.dst_port, packet.current_vc)
-            router.queues[slot].append(packet)
-            router.active.add(slot)
-            self._active_routers.add(router.idx)
+            slot = channel.dst_slot_base + packet.current_vc
+            queue = router.queues[slot]
+            if not queue:
+                # first flit on this slot; a router with any occupied slot
+                # is already in the work list (invariant kept by _crossbar)
+                insort(router.active, slot)
+                active_routers[ridx] = None
+            queue.append(packet)
             packet.arrived_channel = channel
 
     def _crossbar(self) -> None:
@@ -258,110 +404,173 @@ class Network:
         freedom) is preserved end to end.
         """
         speedup = self.params.speedup
-        num_vcs = self.num_vcs
         psize = self.params.packet_size
+        cycle = self.cycle
+        eject_channels = self.eject_channels
+        credit_wheel = self._credit_wheel
+        wheel_size = self._wheel_size
+        transmit_wheel = self._transmit_wheel
+        port_of = self._port_of
+        # bound bucket appends per credit-return delay (a handful of
+        # distinct wire latencies), resolved once per cycle per delay
+        # instead of once per forwarded packet
+        credit_append = [
+            credit_wheel[(cycle + d) % wheel_size].append
+            for d in range(self._max_latency + 1)
+        ]
+        pending_credits = 0
+        pending_transmits = 0
         for ridx in list(self._active_routers):
             router = self.routers[ridx]
-            if not router.active:
-                self._active_routers.discard(ridx)
+            active = router.active
+            if not active:
+                del self._active_routers[ridx]
                 continue
-            if len(router.active) == 1:
-                order = list(router.active)
+            rr = router.rr
+            if len(active) == 1:
+                order = [active[0]]
             else:
-                total = router.num_ports * num_vcs
-                rr = router.rr
-                order = sorted(router.active, key=lambda s: (s - rr) % total)
-            router.rr = (router.rr + 1) % (router.num_ports * num_vcs)
-            in_budget: Dict[int, int] = {}
-            out_budget: Dict[int, int] = {}
+                # rotate the sorted slot list so slots >= rr come first:
+                # identical order to sorting by (slot - rr) % total
+                start = bisect_left(active, rr)
+                order = active[start:] + active[:start]
+            router.rr = rr + 1 if rr + 1 < router.total_slots else 0
+            in_budget = router.in_budget
+            in_stamp = router.in_stamp
+            out_budget = router.out_budget
+            out_stamp = router.out_stamp
+            queues = router.queues
             for slot in order:
-                queue = router.queues[slot]
+                queue = queues[slot]
                 if not queue:
-                    router.active.discard(slot)
+                    active.remove(slot)
                     continue
-                port = slot // num_vcs
-                if in_budget.get(port, 0) >= speedup:
+                port = port_of[slot]
+                if in_stamp[port] != cycle:
+                    in_stamp[port] = cycle
+                    in_budget[port] = 0
+                elif in_budget[port] >= speedup:
                     continue
                 packet = queue[0]
-                ejecting = packet.hop >= packet.path_hops
+                hop = packet.hop
+                ejecting = hop >= packet.path_hops
                 if ejecting:
-                    out_channel = self.eject_channels[packet.dst_node]
+                    out_channel = eject_channels[packet.dst_node]
                     next_vc = 0
                 else:
-                    out_channel = packet.route[packet.hop]
-                    next_vc = packet.next_vc
-                out_key = id(out_channel)
-                if out_budget.get(out_key, 0) >= speedup:
+                    out_channel = packet.route[hop]
+                    next_vc = packet.vcs[hop]
+                out_port = out_channel.src_port
+                if out_stamp[out_port] != cycle:
+                    out_stamp[out_port] = cycle
+                    out_budget[out_port] = 0
+                elif out_budget[out_port] >= speedup:
                     continue
-                if len(out_channel.out_queue) >= out_channel.out_capacity:
+                out_queue = out_channel.out_queue
+                if len(out_queue) >= out_channel.out_capacity:
                     continue
                 if not ejecting and out_channel.credits[next_vc] < psize:
                     continue  # not enough downstream space for the packet
                 queue.popleft()
                 if not queue:
-                    router.active.discard(slot)
-                in_budget[port] = in_budget.get(port, 0) + 1
-                out_budget[out_key] = out_budget.get(out_key, 0) + 1
+                    active.remove(slot)
+                in_budget[port] += 1
+                out_budget[out_port] += 1
                 # free the input buffer space: return credits upstream
                 arrived = packet.arrived_channel
                 if arrived is not None:
-                    when = self.cycle + arrived.latency
-                    self._credit_returns.setdefault(when, []).append(
-                        (arrived, packet.current_vc, psize)
+                    credit_append[arrived.latency](
+                        (arrived, packet.current_vc)
                     )
+                    pending_credits += 1
                 if not ejecting:
                     out_channel.credits[next_vc] -= psize
+                    out_channel.credit_total -= psize
                     packet.current_vc = next_vc
-                    packet.hop += 1
-                out_channel.out_queue.append(packet)
-                self._busy_channels.add(out_channel)
+                    packet.hop = hop + 1
+                if not out_queue:
+                    # queue was empty: schedule the transmission start
+                    when = out_channel.busy_until
+                    if when < cycle:
+                        when = cycle
+                    transmit_wheel[when % wheel_size].append(out_channel)
+                    pending_transmits += 1
+                out_queue.append(packet)
             if not router.active:
-                self._active_routers.discard(ridx)
+                self._active_routers.pop(ridx, None)
+        self._pending_credits += pending_credits
+        self._pending_transmits += pending_transmits
 
     def _transmit(self) -> None:
-        """Pop one packet per idle channel onto the wire.
+        """Start the transmissions scheduled for this cycle.
 
         A ``packet_size``-flit packet occupies the wire for that many
         cycles (virtual cut-through serialization); the packet is
-        delivered when its tail flit lands.
+        delivered when its tail flit lands.  Channels with more queued
+        flits re-schedule themselves ``packet_size`` cycles ahead, so each
+        wheel bucket holds exactly the channels that act this cycle -- no
+        scan over idle or serializing channels.
         """
+        cycle = self.cycle
+        wheel_size = self._wheel_size
+        idx = cycle % wheel_size
+        todo = self._transmit_wheel[idx]
+        if not todo:
+            return
+        self._transmit_wheel[idx] = []
         psize = self.params.packet_size
-        tail_delay = psize - 1
-        done = []
-        for channel in self._busy_channels:
-            if not channel.out_queue:
-                done.append(channel)
+        delivery_wheel = self._delivery_wheel
+        transmit_wheel = self._transmit_wheel
+        # bound bucket appends per delivery delay, resolved once per cycle
+        deliver_append = [
+            delivery_wheel[(cycle + d) % wheel_size].append
+            for d in range(wheel_size)
+        ]
+        next_append = transmit_wheel[(cycle + psize) % wheel_size].append
+        retry_append = transmit_wheel[(cycle + 1) % wheel_size].append
+        pending = 0
+        retired = 0
+        for channel in todo:
+            out_queue = channel.out_queue
+            if not out_queue:  # defensive: drained while scheduled
+                retired += 1
                 continue
-            if self.cycle < channel.busy_until:
-                continue  # wire still serializing the previous packet
-            if channel.src_router is None and not channel.is_ejection:
+            if channel.is_injection:
                 # injection channel: reserve the terminal buffer credit here
-                packet = channel.out_queue[0]
-                vc = packet.next_vc if packet.path_hops else 0
+                packet = out_queue[0]
+                vc = packet.vcs[0] if packet.path_hops else 0
                 if channel.credits[vc] < psize:
+                    # terminal buffer full: retry next cycle
+                    retry_append(channel)
                     continue
                 channel.credits[vc] -= psize
+                channel.credit_total -= psize
                 packet.current_vc = vc
-                channel.out_queue.popleft()
-                when = self.cycle + channel.latency + tail_delay
+                out_queue.popleft()
             else:
-                packet = channel.out_queue.popleft()
-                when = self.cycle + channel.latency + tail_delay
-                if not channel.is_ejection:
-                    when += self.params.router_latency
-            channel.busy_until = self.cycle + psize
+                packet = out_queue.popleft()
+            channel.busy_until = cycle + psize
             channel.flits_sent += psize
-            self._deliveries.setdefault(when, []).append((channel, packet))
-            if not channel.out_queue:
-                done.append(channel)
-        for channel in done:
-            self._busy_channels.discard(channel)
+            deliver_append[channel.delivery_delay]((channel, packet))
+            pending += 1
+            if out_queue:
+                next_append(channel)
+            else:
+                retired += 1
+        self._pending_deliveries += pending
+        self._pending_transmits -= retired
 
     def inject(self, packet: Packet) -> None:
         """Queue a routed packet at its node's source queue."""
         channel = self.inject_channels[packet.src_node]
-        channel.out_queue.append(packet)
-        self._busy_channels.add(channel)
+        out_queue = channel.out_queue
+        if not out_queue:
+            when = channel.busy_until
+            if when < self.cycle:
+                when = self.cycle
+            self._transmit_wheel[when % self._wheel_size].append(channel)
+            self._pending_transmits += 1
+        out_queue.append(packet)
 
     def source_queue_len(self, node: int) -> int:
         return len(self.inject_channels[node].out_queue)
@@ -409,17 +618,15 @@ class Network:
     def quiescent(self) -> bool:
         """True when nothing is in flight and no events remain scheduled."""
         return (
-            not self._busy_channels
-            and not self._deliveries
-            and not self._credit_returns
+            not self._pending_transmits
+            and not self._pending_deliveries
+            and not self._pending_credits
             and self.in_flight() == 0
         )
 
     def in_flight(self) -> int:
-        """Flits anywhere in the network (excluding source queues)."""
-        total = sum(
-            len(items) for items in self._deliveries.values()
-        )
+        """Packets anywhere in the network (excluding source queues)."""
+        total = self._pending_deliveries
         for router in self.routers:
             for q in router.queues:
                 total += len(q)

@@ -8,7 +8,15 @@ same for single points and whole latency curves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -18,6 +26,9 @@ from repro.sim.params import SimParams
 from repro.sim.stats import SimResult
 from repro.topology.dragonfly import Dragonfly
 from repro.traffic.patterns import TrafficPattern
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.perf.executor import SweepExecutor
 
 __all__ = ["Replicated", "replicate", "replicated_curve"]
 
@@ -50,6 +61,7 @@ def replicate(
     policy: Optional[PathPolicy] = None,
     params: Optional[SimParams] = None,
     seeds: Sequence[int] = range(8),
+    executor: Optional["SweepExecutor"] = None,
 ) -> Dict[str, Replicated]:
     """Run one load point under several seeds.
 
@@ -57,19 +69,42 @@ def replicate(
     seed-dependent patterns (permutations, MIXED node selections) vary
     along with the injection process.  Returns mean+-sem for latency,
     accepted rate, hops, and VLB fraction.
+
+    With an ``executor``, the per-seed runs fan out across worker
+    processes (patterns are materialized up front, in this process, so
+    the factory need not be picklable); results are identical to the
+    serial path.
     """
-    results: List[SimResult] = [
-        simulate(
-            topo,
-            pattern_factory(seed),
-            load,
-            routing=routing,
-            policy=policy,
-            params=params,
-            seed=seed,
+    if executor is not None:
+        from repro.perf.executor import SimTask
+
+        results: List[SimResult] = executor.run(
+            [
+                SimTask(
+                    topo,
+                    pattern_factory(seed),
+                    load,
+                    routing=routing,
+                    policy=policy,
+                    params=params,
+                    seed=seed,
+                )
+                for seed in seeds
+            ]
         )
-        for seed in seeds
-    ]
+    else:
+        results = [
+            simulate(
+                topo,
+                pattern_factory(seed),
+                load,
+                routing=routing,
+                policy=policy,
+                params=params,
+                seed=seed,
+            )
+            for seed in seeds
+        ]
     finite = [r for r in results if np.isfinite(r.avg_latency)]
     return {
         "latency": _aggregate([r.avg_latency for r in finite] or [np.inf]),
