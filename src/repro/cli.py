@@ -14,13 +14,22 @@ Commands:
 * ``figure`` -- regenerate one of the paper's tables/figures
 * ``bench``  -- engine/sweep performance benchmarks (``BENCH_sim.json``)
 
-Specification mini-languages:
+Specification mini-languages (parsed by the ``repro.spec`` registries,
+so the CLI and the Python API accept the same strings and raise the same
+errors; ``python -c "from repro.spec import TRAFFIC_REGISTRY;
+print(TRAFFIC_REGISTRY.help_text())"`` prints the live table):
 
-* topology: ``--topology P,A,H,G`` (e.g. ``4,8,4,9``)
-* pattern:  ``ur`` | ``shift:DG[,DS]`` | ``perm[:SEED]`` |
-  ``mixed:UR,ADV`` | ``tmixed:UR,ADV``
-* policy:   ``all`` | ``hopclass:L[,FRAC]`` | ``strategic:2+3|3+2`` |
-  ``@file.json`` (a policy saved by ``tvlb --save``)
+==========  ===============================================================
+topology    ``--topology P,A,H,G`` (e.g. ``4,8,4,9``)
+pattern     ``ur`` | ``shift:DG[,DS]`` | ``perm[:SEED]`` |
+            ``type2[:SEED]`` | ``mixed:UR,ADV[,SEED]`` |
+            ``tmixed:UR,ADV[,SEED]``
+policy      ``all`` | ``hopclass:L[,FRAC]`` | ``strategic:2+3|3+2`` |
+            ``@file.json`` (a policy saved by ``tvlb --save``)
+routing     ``min`` | ``vlb`` | ``ugal-l`` | ``ugal-g`` | ``par``, plus
+            ``t-`` forms of the policy-accepting variants
+            (``t-ugal-l``, ``t-ugal-g``, ``t-par``)
+==========  ===============================================================
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.spec import PatternSpec, PolicySpec, SpecError, TopologySpec
 from repro.topology import Dragonfly, validate_topology
 
 __all__ = [
@@ -36,81 +46,46 @@ __all__ = [
     "parse_loads",
     "parse_pattern",
     "parse_policy",
+    "parse_routing",
     "parse_topology",
 ]
 
 
 def parse_topology(spec: str, arrangement: str = "absolute") -> Dragonfly:
     try:
-        p, a, h, g = (int(x) for x in spec.split(","))
-    except ValueError:
-        raise SystemExit(
-            f"bad topology spec {spec!r}: expected P,A,H,G (e.g. 4,8,4,9)"
-        )
-    return Dragonfly(p, a, h, g, arrangement=arrangement)
+        return TopologySpec.parse(spec, arrangement).build()
+    except SpecError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def parse_routing(variant: str) -> str:
+    """Validate a routing-variant name with the registry's error text.
+
+    The CLI pairs T- variants with a default ``all`` policy, so only the
+    name is checked here; the policy-presence rule is enforced by
+    ``resolve_routing`` at simulation time.
+    """
+    from repro.spec import resolve_routing
+
+    try:
+        resolve_routing(variant)
+    except SpecError as exc:
+        raise SystemExit(str(exc)) from None
+    return variant.lower()
 
 
 def parse_pattern(topo: Dragonfly, spec: str):
-    from repro.traffic import (
-        Mixed,
-        RandomPermutation,
-        Shift,
-        TimeMixed,
-        UniformRandom,
-    )
-
-    name, _, args = spec.partition(":")
-    name = name.lower()
-    if name == "ur":
-        return UniformRandom(topo)
-    if name == "shift":
-        parts = [int(x) for x in args.split(",")] if args else [1]
-        dg = parts[0]
-        ds = parts[1] if len(parts) > 1 else 0
-        return Shift(topo, dg, ds)
-    if name == "perm":
-        return RandomPermutation(topo, seed=int(args) if args else 0)
-    if name in ("mixed", "tmixed"):
-        try:
-            ur, adv = (float(x) for x in args.split(","))
-        except ValueError:
-            raise SystemExit(f"bad pattern spec {spec!r}: need UR,ADV")
-        cls = Mixed if name == "mixed" else TimeMixed
-        return cls(topo, ur, adv)
-    raise SystemExit(
-        f"unknown pattern {spec!r}: use ur | shift:DG[,DS] | perm[:SEED] "
-        f"| mixed:UR,ADV | tmixed:UR,ADV"
-    )
+    try:
+        return PatternSpec.parse(spec).build(topo)
+    except SpecError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def parse_policy(spec: Optional[str]):
-    from repro.routing.pathset import (
-        AllVlbPolicy,
-        HopClassPolicy,
-        StrategicFiveHopPolicy,
-    )
-
-    if spec is None or spec.lower() == "all":
-        return AllVlbPolicy()
-    if spec.startswith("@"):
-        from repro.routing.serialization import load_policy
-
-        return load_policy(spec[1:])
-    name, _, args = spec.partition(":")
-    name = name.lower()
-    if name == "hopclass":
-        parts = args.split(",") if args else []
-        if not parts:
-            raise SystemExit("hopclass needs L[,FRAC], e.g. hopclass:4,0.6")
-        full = int(parts[0])
-        frac = float(parts[1]) if len(parts) > 1 else 0.0
-        return HopClassPolicy(full, frac)
-    if name == "strategic":
-        return StrategicFiveHopPolicy(args or "2+3")
-    raise SystemExit(
-        f"unknown policy {spec!r}: use all | hopclass:L[,FRAC] | "
-        f"strategic:2+3|3+2"
-    )
+    try:
+        return PolicySpec.parse(spec if spec is not None else "all").build()
+    except SpecError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def parse_loads(spec: str) -> List[float]:
@@ -232,9 +207,10 @@ def _cmd_sim(args) -> int:
 
     topo = parse_topology(args.topology, args.arrangement)
     pattern = parse_pattern(topo, args.pattern)
+    routing = parse_routing(args.routing)
     policy = (
         parse_policy(args.policy)
-        if args.routing.startswith("t-") or args.policy
+        if routing.startswith("t-") or args.policy
         else None
     )
     params = SimParams(window_cycles=args.window, verify=args.verify)
@@ -242,12 +218,12 @@ def _cmd_sim(args) -> int:
         topo,
         pattern,
         args.load,
-        routing=args.routing,
+        routing=routing,
         policy=policy,
         params=params,
         seed=args.seed,
     )
-    print(f"{topo} {pattern.describe()} {args.routing} load={args.load}")
+    print(f"{topo} {pattern.describe()} {routing} load={args.load}")
     print(f"  avg latency   : {res.avg_latency:.1f} cycles")
     print(f"  p99 latency   : {res.p99_latency:.1f} cycles")
     print(f"  accepted rate : {res.accepted_rate:.4f}")
@@ -263,9 +239,10 @@ def _cmd_sweep(args) -> int:
 
     topo = parse_topology(args.topology, args.arrangement)
     pattern = parse_pattern(topo, args.pattern)
+    routing = parse_routing(args.routing)
     policy = (
         parse_policy(args.policy)
-        if args.routing.startswith("t-") or args.policy
+        if routing.startswith("t-") or args.policy
         else None
     )
     loads = parse_loads(args.loads)
@@ -275,7 +252,7 @@ def _cmd_sweep(args) -> int:
             topo,
             pattern,
             loads,
-            routing=args.routing,
+            routing=routing,
             policy=policy,
             params=params,
             seed=args.seed,
@@ -283,7 +260,7 @@ def _cmd_sweep(args) -> int:
             executor=executor,
         )
         print(
-            f"{topo} {pattern.describe()} {args.routing} "
+            f"{topo} {pattern.describe()} {routing} "
             f"policy={sweep.policy_label} [{executor.describe()}]"
         )
         print(f"  {'load':>6} {'latency':>9} {'accepted':>9}  sat")
@@ -337,13 +314,14 @@ def _cmd_verify(args) -> int:
 
     topo = parse_topology(args.topology, args.arrangement)
     policy = parse_policy(args.policy)
+    routing = parse_routing(args.routing)
     rules = args.rules.split(",") if args.rules else None
     try:
         report = verify_config(
             topo,
             policy,
             scheme=args.vc_scheme,
-            routing=args.routing,
+            routing=routing,
             num_vcs=args.num_vcs,
             seed=args.seed,
             rules=rules,

@@ -21,6 +21,7 @@ from typing import Dict
 import numpy as np
 
 from repro.core import balance_adjust, compute_tvlb
+from repro.experiments.figures import run_suite
 from repro.experiments.report import FigureResult, render_table
 from repro.model import PathStatsCache, model_throughput
 from repro.routing.pathset import (
@@ -28,7 +29,8 @@ from repro.routing.pathset import (
     HopClassPolicy,
     StrategicFiveHopPolicy,
 )
-from repro.sim import SimParams, latency_vs_load
+from repro.sim import SimParams
+from repro.spec import PatternSpec, PolicySpec, SuiteSpec, SweepSpec, TopologySpec
 from repro.topology import Dragonfly
 from repro.traffic import Shift
 
@@ -50,13 +52,23 @@ def abl_strategic() -> FigureResult:
         ("strategic 3+2", StrategicFiveHopPolicy("3+2")),
         ("random 50% 5-hop", HopClassPolicy(4, 0.5)),
     ]
+    suite = SuiteSpec("abl_strategic", tuple(
+        SweepSpec(
+            topology=TopologySpec.of(topo),
+            pattern=PatternSpec.of(pattern),
+            loads=loads,
+            routing="t-ugal-l",
+            policy=PolicySpec.of(pol),
+            params=params,
+            seed=0,
+            label=label,
+        )
+        for label, pol in policies
+    ))
     rows = []
     data: Dict[str, float] = {}
-    for label, pol in policies:
-        sweep = latency_vs_load(
-            topo, pattern, loads, routing="t-ugal-l", policy=pol,
-            params=params, seed=0,
-        )
+    for label, sweeps in run_suite(suite).items():
+        sweep = sweeps[0]
         sat = sweep.saturation_throughput()
         low = sweep.results[0].avg_latency
         rows.append([label, low, sat])
@@ -86,11 +98,21 @@ def abl_balance() -> FigureResult:
         "global_hot_channels": float(len(report.global_hot_channels)),
         "max_over_mean_local": report.max_over_mean_local,
     }
-    for label, pol in (("unadjusted", base), ("balanced", adjusted)):
-        sweep = latency_vs_load(
-            topo, pattern, loads, routing="t-ugal-l", policy=pol,
-            params=params, seed=0,
+    suite = SuiteSpec("abl_balance", tuple(
+        SweepSpec(
+            topology=TopologySpec.of(topo),
+            pattern=PatternSpec.of(pattern),
+            loads=loads,
+            routing="t-ugal-l",
+            policy=PolicySpec.of(pol),
+            params=params,
+            seed=0,
+            label=label,
         )
+        for label, pol in (("unadjusted", base), ("balanced", adjusted))
+    ))
+    for label, sweeps in run_suite(suite).items():
+        sweep = sweeps[0]
         sat = sweep.saturation_throughput()
         rows.append([label, sweep.results[0].avg_latency, sat])
         data[label] = sat

@@ -37,6 +37,13 @@ from repro.routing.pathset import (
     StrategicFiveHopPolicy,
 )
 from repro.sim import SimParams, latency_vs_load
+from repro.spec import (
+    PatternSpec,
+    PolicySpec,
+    SuiteSpec,
+    SweepSpec,
+    TopologySpec,
+)
 from repro.topology import Dragonfly
 from repro.traffic import (
     Mixed,
@@ -47,7 +54,13 @@ from repro.traffic import (
     type_2_set,
 )
 
-__all__ = ["FIGURES", "run_figure", "tvlb_policy_for"]
+__all__ = [
+    "FIGURES",
+    "curve_suite",
+    "run_figure",
+    "run_suite",
+    "tvlb_policy_for",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -88,8 +101,57 @@ def tvlb_policy_for(topo: Dragonfly) -> PathPolicy:
 
 
 # ---------------------------------------------------------------------------
-# Generic latency-curve figure
+# Generic latency-curve figure (declared as SuiteSpec data, then run)
 # ---------------------------------------------------------------------------
+def curve_suite(
+    name: str,
+    topo: Dragonfly,
+    pattern_factory: Callable[[Dragonfly, int], object],
+    loads: Sequence[float],
+    schemes: Sequence[str],
+    *,
+    params: SimParams,
+    policy: PathPolicy,
+    seeds: Sequence[int],
+) -> SuiteSpec:
+    """The declarative scenario suite of one latency-curve figure.
+
+    One :class:`SweepSpec` per (variant, seed); the sweep ``label`` is the
+    curve key.  Each base scheme is paired with its T- variant carrying
+    the topology's T-VLB policy, except when that policy is the full VLB
+    set (T-UGAL == UGAL there, so the T- curve would duplicate the base).
+    """
+    topo_spec = TopologySpec.of(topo)
+    pol_spec = PolicySpec.of(policy)
+    sweeps: List[SweepSpec] = []
+    for base in schemes:
+        for variant, pol in ((base, None), (f"t-{base}", pol_spec)):
+            if pol is not None and pol.kind == "all":
+                continue  # T-UGAL == UGAL on this topology
+            for seed in seeds:
+                sweeps.append(SweepSpec(
+                    topology=topo_spec,
+                    pattern=PatternSpec.of(pattern_factory(topo, seed)),
+                    loads=tuple(loads),
+                    routing=variant,
+                    policy=pol,
+                    params=params,
+                    seed=seed,
+                    label=variant.upper(),
+                ))
+    return SuiteSpec(name, tuple(sweeps))
+
+
+def run_suite(suite: SuiteSpec) -> Dict[str, List]:
+    """Execute every sweep of a suite, grouped by label (in suite order)."""
+    by_label: Dict[str, List] = {}
+    for sweep_spec in suite.sweeps:
+        by_label.setdefault(sweep_spec.label, []).append(
+            latency_vs_load(sweep_spec)
+        )
+    return by_label
+
+
 def _curve_figure(
     figure: str,
     title: str,
@@ -108,40 +170,27 @@ def _curve_figure(
     """
     params = params if params is not None else _params()
     policy = policy if policy is not None else tvlb_policy_for(topo)
-    n_seeds = _seeds()
+    suite = curve_suite(
+        figure, topo, pattern_factory, loads, schemes,
+        params=params, policy=policy, seeds=range(_seeds()),
+    )
     curves: Dict[str, List[Tuple[float, float]]] = {}
     sat_rows = []
-    for base in schemes:
-        for variant, pol in ((base, None), (f"t-{base}", policy)):
-            if variant.startswith("t-") and isinstance(pol, AllVlbPolicy):
-                continue  # T-UGAL == UGAL on this topology
-            per_seed = []
-            for seed in range(n_seeds):
-                pattern = pattern_factory(topo, seed)
-                sweep = latency_vs_load(
-                    topo,
-                    pattern,
-                    loads,
-                    routing=variant,
-                    policy=pol,
-                    params=params,
-                    seed=seed,
-                )
-                per_seed.append(sweep)
-            series: List[Tuple[float, float]] = []
-            for i, load in enumerate(loads):
-                lats = [
-                    s.results[i].avg_latency
-                    for s in per_seed
-                    if i < len(s.results) and not s.results[i].saturated
-                ]
-                if lats:
-                    series.append((load, float(np.mean(lats))))
-            curves[variant.upper()] = series
-            sat = float(
-                np.mean([s.saturation_throughput() for s in per_seed])
-            )
-            sat_rows.append([variant.upper(), sat])
+    for label, per_seed in run_suite(suite).items():
+        series: List[Tuple[float, float]] = []
+        for i, load in enumerate(loads):
+            lats = [
+                s.results[i].avg_latency
+                for s in per_seed
+                if i < len(s.results) and not s.results[i].saturated
+            ]
+            if lats:
+                series.append((load, float(np.mean(lats))))
+        curves[label] = series
+        sat = float(
+            np.mean([s.saturation_throughput() for s in per_seed])
+        )
+        sat_rows.append([label, sat])
     text = render_curves("offered load", curves)
     text += "\n\nsaturation throughput (packets/cycle/node):\n"
     text += render_table(["scheme", "throughput"], sat_rows)
@@ -390,23 +439,33 @@ def _sensitivity_figure(
     scheme: str,
     settings: Sequence[Tuple[str, SimParams]],
 ) -> FigureResult:
-    policy = tvlb_policy_for(topo)
+    topo_spec = TopologySpec.of(topo)
+    pol_spec = PolicySpec.of(tvlb_policy_for(topo))
+    pattern_spec = PatternSpec.of(pattern_factory(topo, 0))
+    suite = SuiteSpec(figure, tuple(
+        SweepSpec(
+            topology=topo_spec,
+            pattern=pattern_spec,
+            loads=tuple(loads),
+            routing=variant,
+            policy=pol,
+            params=params,
+            seed=0,
+            label=f"{variant.upper()}({setting_label})",
+        )
+        for setting_label, params in settings
+        for variant, pol in ((scheme, None), (f"t-{scheme}", pol_spec))
+    ))
     curves: Dict[str, List[Tuple[float, float]]] = {}
     sat_rows = []
-    for setting_label, params in settings:
-        for variant, pol in ((scheme, None), (f"t-{scheme}", policy)):
-            pattern = pattern_factory(topo, 0)
-            sweep = latency_vs_load(
-                topo, pattern, loads, routing=variant, policy=pol,
-                params=params, seed=0,
-            )
-            label = f"{variant.upper()}({setting_label})"
-            curves[label] = [
-                (r.offered_load, r.avg_latency)
-                for r in sweep.results
-                if not r.saturated
-            ]
-            sat_rows.append([label, sweep.saturation_throughput()])
+    for label, sweeps in run_suite(suite).items():
+        sweep = sweeps[0]
+        curves[label] = [
+            (r.offered_load, r.avg_latency)
+            for r in sweep.results
+            if not r.saturated
+        ]
+        sat_rows.append([label, sweep.saturation_throughput()])
     text = render_curves("offered load", curves)
     text += "\n\nsaturation throughput:\n"
     text += render_table(["scheme", "throughput"], sat_rows)

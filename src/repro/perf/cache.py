@@ -9,19 +9,22 @@ file read instead of a cycle-accurate simulation.
 
 Key design points:
 
-* **Content addressing.**  The key is a SHA-256 over a canonical JSON
-  fingerprint of everything that determines a run's outcome: the topology
-  spec, the traffic pattern spec (including any frozen random state, e.g.
-  a permutation's dest map), the routing variant, the path policy
-  (via ``repro.routing.serialization``), every ``SimParams`` field, the
-  seed, and the offered load.  Changing any of these changes the key.
+* **Content addressing.**  The primary key is
+  ``RunSpec.fingerprint()`` -- a SHA-256 over the canonical JSON form of
+  the declarative run spec (``repro.spec``), covering the topology,
+  pattern (kind + args, seeds included), routing variant, policy, every
+  ``SimParams`` field, the seed, and the offered load.  Any run whose
+  components are exactly registered types -- including ``perm``,
+  ``mixed``/``tmixed``, and ``@file.json`` policies -- is cacheable.
+* **Legacy fallback.**  Runs the spec layer cannot describe (ad-hoc
+  ``_FixedPattern`` subclasses, pattern compositions with unregistered
+  parts) fall back to the pre-spec structural fingerprint: any fixed
+  pattern is exactly its destination map.  Only what neither path can
+  identify is uncacheable (``None`` key) -- never a false hit.
 * **Versioned invalidation.**  ``CACHE_VERSION`` is part of both the hash
   input and the on-disk directory layout (``<root>/v<N>/``); bump it
   whenever the simulator's observable behaviour changes and every stale
   entry is orphaned at once.
-* **Conservative fingerprinting.**  A pattern or policy the module cannot
-  fingerprint exactly makes the whole task *uncacheable* (``None`` key)
-  rather than risking a false hit.
 
 Layout: ``<root>/v<N>/<hash[:2]>/<hash>.json`` -- two-level sharding keeps
 directories small.  Writes are atomic (temp file + ``os.replace``), so a
@@ -66,9 +69,10 @@ __all__ = [
 ]
 
 # Bump when simulate()'s observable behaviour changes (engine semantics,
-# SimResult fields, default parameter meanings): old entries are then
-# ignored wholesale because they live under a different v<N>/ directory.
-CACHE_VERSION = 1
+# SimResult fields, default parameter meanings) or when the key scheme
+# changes: old entries are then ignored wholesale because they live under
+# a different v<N>/ directory.  v2: keys are RunSpec fingerprints.
+CACHE_VERSION = 2
 
 
 def default_cache_dir() -> str:
@@ -97,11 +101,13 @@ def topology_fingerprint(topo: Dragonfly) -> Dict:
 
 
 def pattern_fingerprint(pattern: TrafficPattern) -> Optional[Dict]:
-    """Identity of a traffic pattern, or ``None`` when not fingerprintable.
+    """Structural identity of a pattern, or ``None`` (not fingerprintable).
 
-    Seed-bearing patterns are identified by their frozen random state (the
-    dest map / node-role assignment), so two instances built with the same
-    seed share a fingerprint while different seeds never collide.
+    This is the *fallback* identity used when ``repro.spec`` has no
+    registered spec for the pattern's exact type: seed-bearing patterns
+    are identified by their frozen random state (the dest map / node-role
+    assignment), so two instances built with the same seed share a
+    fingerprint while different seeds never collide.
     """
     if isinstance(pattern, UniformRandom):
         return {"kind": "ur"}
@@ -157,7 +163,34 @@ def fingerprint(
     params: Optional[SimParams],
     seed: int,
 ) -> Optional[str]:
-    """SHA-256 key of one ``simulate()`` point, or ``None`` (uncacheable)."""
+    """SHA-256 key of one ``simulate()`` point, or ``None`` (uncacheable).
+
+    Prefers the declarative identity -- ``RunSpec.fingerprint()`` keyed
+    under ``CACHE_VERSION`` -- and falls back to the structural
+    fingerprint for components the spec registries do not cover.
+    """
+    from repro.spec import RunSpec, SpecError
+
+    try:
+        spec = RunSpec.from_objects(
+            topo,
+            pattern,
+            load,
+            routing=routing,
+            policy=policy,
+            params=params,
+            seed=seed,
+        )
+    except SpecError:
+        pass  # unregistered component: try the structural fallback
+    else:
+        blob = json.dumps(
+            {"version": CACHE_VERSION, "spec": spec.fingerprint()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
     pat_fp = pattern_fingerprint(pattern)
     if pat_fp is None:
         return None

@@ -9,17 +9,20 @@ each point through the on-disk :class:`~repro.perf.cache.SimCache`.
 
 Guarantees:
 
-* **Determinism.**  A task is fully described by picklable inputs (the
-  topology, a pattern object with frozen random state, routing, policy,
-  params, seed, load) and ``simulate()`` is a pure function of them, so
-  the parallel path returns bit-identical results to the serial path and
-  result order never depends on completion order.
+* **Determinism.**  A task is fully described by picklable inputs and
+  ``simulate()`` is a pure function of them, so the parallel path returns
+  bit-identical results to the serial path and result order never depends
+  on completion order.  Tasks whose components are registered spec types
+  ship their compact :class:`~repro.spec.RunSpec` to workers (the worker
+  rebuilds topology and pattern from the declarative form); only tasks
+  the spec layer cannot describe ship live objects.
 * **Graceful degradation.**  ``jobs=1``, a single-task batch, or a host
   where process pools cannot be created (sandboxes without fork/semaphore
   support) all run serially in-process -- same results, no crash.
 
-The worker entry point is the module-level :func:`run_task`, so both the
-``fork`` and ``spawn`` multiprocessing start methods work.
+The worker entry points are module-level (:func:`run_task`,
+:func:`_run_payload`), so both the ``fork`` and ``spawn`` multiprocessing
+start methods work.
 """
 
 from __future__ import annotations
@@ -27,14 +30,15 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
 
 from repro.perf.cache import SimCache, fingerprint
 from repro.routing.pathset import PathPolicy
 from repro.sim.engine import simulate
 from repro.sim.params import SimParams
 from repro.sim.stats import SimResult
+from repro.spec import RunSpec, SpecError
 from repro.topology.dragonfly import Dragonfly
 from repro.traffic.patterns import TrafficPattern
 
@@ -54,7 +58,13 @@ def default_jobs() -> int:
 
 @dataclass
 class SimTask:
-    """One independent ``simulate()`` invocation (picklable)."""
+    """One independent ``simulate()`` invocation (picklable).
+
+    On construction the task derives its declarative :class:`RunSpec`
+    (``None`` when a component is not a registered spec type); the spec,
+    when present, is what crosses the process boundary and what keys the
+    result cache.
+    """
 
     topo: Dragonfly
     pattern: TrafficPattern
@@ -63,6 +73,22 @@ class SimTask:
     policy: Optional[PathPolicy] = None
     params: Optional[SimParams] = None
     seed: int = 0
+    spec: Optional[RunSpec] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.spec is None:
+            try:
+                self.spec = RunSpec.from_objects(
+                    self.topo,
+                    self.pattern,
+                    self.load,
+                    routing=self.routing,
+                    policy=self.policy,
+                    params=self.params,
+                    seed=self.seed,
+                )
+            except SpecError:
+                self.spec = None  # ad-hoc components: ship live objects
 
     def key(self) -> Optional[str]:
         """Content-address of this task (``None`` = uncacheable)."""
@@ -76,9 +102,13 @@ class SimTask:
             seed=self.seed,
         )
 
+    def payload(self) -> Union[RunSpec, "SimTask"]:
+        """What to ship to a worker: the spec when one exists."""
+        return self.spec if self.spec is not None else self
+
 
 def run_task(task: SimTask) -> SimResult:
-    """Worker entry point: execute one task (also the serial path)."""
+    """Execute one task (also the serial path)."""
     return simulate(
         task.topo,
         task.pattern,
@@ -88,6 +118,13 @@ def run_task(task: SimTask) -> SimResult:
         params=task.params,
         seed=task.seed,
     )
+
+
+def _run_payload(payload: Union[RunSpec, SimTask]) -> SimResult:
+    """Worker entry point: a declarative spec or a live-object task."""
+    if isinstance(payload, RunSpec):
+        return payload.run()
+    return run_task(payload)
 
 
 class SweepExecutor:
@@ -157,13 +194,12 @@ class SweepExecutor:
                 if self.jobs > 1 and len(pending) > 1
                 else None
             )
+            payloads = [t.payload() for _i, _k, t in pending]
             if pool is not None:
-                computed = list(
-                    pool.map(run_task, [t for _i, _k, t in pending])
-                )
+                computed = list(pool.map(_run_payload, payloads))
                 self.computed_parallel += len(pending)
             else:
-                computed = [run_task(t) for _i, _k, t in pending]
+                computed = [_run_payload(p) for p in payloads]
                 self.computed_serial += len(pending)
             for (i, key, _task), result in zip(pending, computed):
                 results[i] = result

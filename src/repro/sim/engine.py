@@ -41,9 +41,9 @@ def build_network(
 
 
 def simulate(
-    topo: Dragonfly,
-    pattern: TrafficPattern,
-    load: float,
+    topo,
+    pattern: Optional[TrafficPattern] = None,
+    load: Optional[float] = None,
     *,
     routing: str = "ugal-l",
     policy: Optional[PathPolicy] = None,
@@ -52,6 +52,12 @@ def simulate(
     max_source_queue: int = 10_000,
 ) -> SimResult:
     """Run one simulation at a fixed offered load (packets/cycle/node).
+
+    Two call forms:
+
+    * ``simulate(topo, pattern, load, ...)`` -- live objects, as always;
+    * ``simulate(spec)`` -- a single :class:`repro.spec.RunSpec`, which
+      carries every argument declaratively (what sweep workers receive).
 
     ``routing`` is one of ``min, vlb, ugal-l, ugal-g, par`` or a ``t-``
     variant (which requires ``policy``, the T-VLB set).
@@ -64,6 +70,24 @@ def simulate(
     non-saturated run reaches and packets are only generated while below
     it (stalled generation, like BookSim's finite injection queues).
     """
+    if pattern is None and load is None:
+        # spec form -- lazy import, the spec layer sits above sim
+        from repro.spec import RunSpec
+
+        if not isinstance(topo, RunSpec):
+            raise TypeError(
+                "simulate() needs (topo, pattern, load, ...) or a RunSpec"
+            )
+        spec = topo
+        topo = spec.topology.build()
+        pattern = spec.pattern.build(topo)
+        load = spec.load
+        routing = spec.routing
+        policy = spec.policy.build() if spec.policy is not None else None
+        params = spec.params
+        seed = spec.seed
+    elif pattern is None or load is None:
+        raise TypeError("simulate() needs both pattern and load")
     if not 0.0 <= load <= 1.0:
         raise ValueError("load must be in [0, 1] packets/cycle/node")
     params = params if params is not None else SimParams()

@@ -53,9 +53,9 @@ def _aggregate(values: Sequence[float]) -> Replicated:
 
 
 def replicate(
-    topo: Dragonfly,
-    pattern_factory: Callable[[int], TrafficPattern],
-    load: float,
+    topo,
+    pattern_factory: Optional[Callable[[int], TrafficPattern]] = None,
+    load: Optional[float] = None,
     *,
     routing: str = "ugal-l",
     policy: Optional[PathPolicy] = None,
@@ -70,11 +70,34 @@ def replicate(
     along with the injection process.  Returns mean+-sem for latency,
     accepted rate, hops, and VLB fraction.
 
+    Alternatively pass a single :class:`repro.spec.RunSpec` as the first
+    argument: its pattern is re-seeded per replication seed (when the
+    pattern kind is seed-bearing) exactly like a factory would.
+
     With an ``executor``, the per-seed runs fan out across worker
     processes (patterns are materialized up front, in this process, so
     the factory need not be picklable); results are identical to the
     serial path.
     """
+    if pattern_factory is None and load is None:
+        from repro.spec import RunSpec
+
+        if not isinstance(topo, RunSpec):
+            raise TypeError(
+                "replicate() needs (topo, pattern_factory, load, ...) or "
+                "a RunSpec"
+            )
+        spec = topo
+        topo = spec.topology.build()
+        load = spec.load
+        routing = spec.routing
+        policy = spec.policy.build() if spec.policy is not None else None
+        params = spec.params
+        pattern_factory = (
+            lambda s: spec.pattern.with_seed(s).build(topo)
+        )
+    elif pattern_factory is None or load is None:
+        raise TypeError("replicate() needs both pattern_factory and load")
     if executor is not None:
         from repro.perf.executor import SimTask
 

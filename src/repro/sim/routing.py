@@ -1,40 +1,55 @@
-"""Routing decision logic: MIN, VLB, UGAL-L, UGAL-G, and PAR.
+"""Routing decision state: candidate generation, caches, queue estimates.
 
 The T- variants (T-UGAL-L, T-UGAL-G, T-PAR) are the same decision
 procedures with a restricted VLB :class:`~repro.routing.pathset.PathPolicy`
 -- exactly the paper's framing: "T-UGAL only changes the set of candidate
 paths for UGAL".
 
-All variants follow the original UGAL recipe: per packet, draw **one**
-random MIN candidate and **one** random VLB candidate, estimate the delay
-of each from queue state, and pick the smaller (MIN wins ties plus the
-threshold ``T``):
-
-* UGAL-L estimates a path's delay as (local queue of its first channel) x
-  (path length) -- local information only;
-* UGAL-G sums the queue of every channel on the path -- idealized global
-  information;
-* PAR starts like UGAL-L but may revise a MIN decision once, at the second
-  switch in the source group, switching to a VLB path from there (one
-  extra VC level absorbs the extra hop).
+:class:`RoutingAlgorithm` owns everything a decision *uses* -- per-pair
+MIN/VLB candidate caches, the rng, queue-state cost estimates, decision
+counters -- while each variant's decision *procedure* (how MIN, VLB,
+UGAL-L, UGAL-G, and PAR choose and revise) lives in a
+:class:`~repro.sim.strategies.RoutingStrategy` looked up in
+``repro.spec``'s ``ROUTING_REGISTRY``.  Adding a variant is a
+registration, not an edit to this file.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.routing.minimal import min_paths
-from repro.routing.paths import LOCAL_SLOT, Path
+from repro.routing.paths import Path
 from repro.routing.pathset import AllVlbPolicy, PathPolicy
 from repro.sim.network import Network, SimChannel
 from repro.sim.packet import Packet
 from repro.sim.vc import assign_vcs
 
-__all__ = ["RoutingAlgorithm", "ROUTING_VARIANTS", "make_routing"]
+__all__ = [
+    "CandidateEntry",
+    "RoutingAlgorithm",
+    "ROUTING_VARIANTS",
+    "make_routing",
+]
 
 ROUTING_VARIANTS = ("min", "vlb", "ugal-l", "ugal-g", "par")
+
+# a prepared route candidate: the path, its live channels, its VC ladder
+CandidateEntry = Tuple[Path, List[SimChannel], List[int]]
+
+
+class _NoVlbPath:
+    """Typed cache sentinel: a pair with no VLB path under the policy."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<no VLB path>"
+
+
+_NO_VLB_PATH = _NoVlbPath()
 
 
 class RoutingAlgorithm:
@@ -47,11 +62,11 @@ class RoutingAlgorithm:
         policy: Optional[PathPolicy] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
-        if variant not in ROUTING_VARIANTS:
-            raise ValueError(
-                f"unknown routing variant {variant!r}; "
-                f"choose from {ROUTING_VARIANTS}"
-            )
+        # lazy import: the spec layer sits above sim and imports this
+        # module, so the reverse edge must not exist at import time
+        from repro.spec.builtins import strategy_for
+
+        self.strategy = strategy_for(variant)
         self.network = network
         self.topo = network.topo
         self.variant = variant
@@ -65,24 +80,28 @@ class RoutingAlgorithm:
         self.vlb_chosen = 0
         self.par_revised = 0
         # per-pair MIN path cache (tiny objects, hot path)
-        self._min_cache: dict = {}
-        # per-pair VLB candidate cache: (path, channels, vcs) triples; once
-        # `_vlb_cache_cap` distinct candidates were drawn for a pair,
-        # further draws reuse them uniformly
-        self._vlb_cache: dict = {}
+        self._min_cache: Dict[Tuple[int, int], List[CandidateEntry]] = {}
+        # per-pair VLB candidate cache; once `_vlb_cache_cap` distinct
+        # candidates were drawn for a pair, further draws reuse them
+        # uniformly; _NO_VLB_PATH marks pairs the policy cannot serve
+        self._vlb_cache: Dict[
+            Tuple[int, int], Union[List[CandidateEntry], _NoVlbPath]
+        ] = {}
         self._vlb_cache_cap = network.params.vlb_cache_per_pair
 
     # ------------------------------------------------------------------
     # Candidate generation
     # ------------------------------------------------------------------
-    def _prepare(self, path: Path) -> Tuple[Path, list, list]:
+    def _prepare(self, path: Path) -> CandidateEntry:
         return (
             path,
             self.network.path_channels(path),
             assign_vcs(path, self.vc_scheme, num_vcs=self.num_vcs),
         )
 
-    def _min_candidates(self, src_sw: int, dst_sw: int) -> List[Tuple]:
+    def _min_candidates(
+        self, src_sw: int, dst_sw: int
+    ) -> List[CandidateEntry]:
         entries = self._min_cache.get((src_sw, dst_sw))
         if entries is None:
             entries = [
@@ -91,13 +110,15 @@ class RoutingAlgorithm:
             self._min_cache[(src_sw, dst_sw)] = entries
         return entries
 
-    def _random_min(self, src_sw: int, dst_sw: int) -> Tuple:
+    def _random_min(self, src_sw: int, dst_sw: int) -> CandidateEntry:
         entries = self._min_candidates(src_sw, dst_sw)
         if len(entries) == 1:
             return entries[0]
         return entries[int(self.rng.integers(len(entries)))]
 
-    def _random_vlb(self, src_sw: int, dst_sw: int) -> Optional[Tuple]:
+    def _random_vlb(
+        self, src_sw: int, dst_sw: int
+    ) -> Optional[CandidateEntry]:
         """One random VLB candidate as a (path, channels, vcs) triple.
 
         Uses the per-pair candidate cache: the first ``_vlb_cache_cap``
@@ -106,7 +127,7 @@ class RoutingAlgorithm:
         """
         key = (src_sw, dst_sw)
         cache = self._vlb_cache.get(key)
-        if cache is False:
+        if isinstance(cache, _NoVlbPath):
             return None  # pair has no VLB path under this policy
         if cache is None:
             cache = []
@@ -117,7 +138,7 @@ class RoutingAlgorithm:
             )
             if path is None:
                 if not cache:
-                    self._vlb_cache[key] = False
+                    self._vlb_cache[key] = _NO_VLB_PATH
                     return None
                 return cache[int(self.rng.integers(len(cache)))]
             entry = self._prepare(path)
@@ -143,7 +164,7 @@ class RoutingAlgorithm:
         return sum(ch.load_metric() for ch in channels)
 
     # ------------------------------------------------------------------
-    # Decisions
+    # Decisions (delegated to the registered strategy)
     # ------------------------------------------------------------------
     def route_packet(self, packet: Packet) -> None:
         """Fill in route/vcs for a packet at its source switch."""
@@ -152,96 +173,21 @@ class RoutingAlgorithm:
         if src_sw == dst_sw:
             self._apply(packet, ((Path((src_sw,), ())), [], []), False)
             return
-
-        min_entry = self._random_min(src_sw, dst_sw)
-        if self.variant == "min":
-            self._apply(packet, min_entry, used_vlb=False)
-            return
-
-        vlb_entry = self._random_vlb(src_sw, dst_sw)
-        if vlb_entry is None:
-            self._apply(packet, min_entry, used_vlb=False)
-            return
-        if self.variant == "vlb":
-            self._apply(packet, vlb_entry, used_vlb=True)
-            return
-
-        # optionally draw extra candidates and keep the cheapest of each
-        # kind (the original UGAL allows "a small number" of candidates)
-        params = self.network.params
-        if self.variant == "ugal-g":
-            cost_fn = lambda e: self._cost_global(e[1])  # noqa: E731
-        else:  # ugal-l and par
-            cost_fn = lambda e: self._cost_local(  # noqa: E731
-                e[1], e[0].num_hops
-            )
-        cost_min = cost_fn(min_entry)
-        for _ in range(params.min_candidates - 1):
-            other = self._random_min(src_sw, dst_sw)
-            cost = cost_fn(other)
-            if cost < cost_min:
-                min_entry, cost_min = other, cost
-        cost_vlb = cost_fn(vlb_entry)
-        for _ in range(params.vlb_candidates - 1):
-            other = self._random_vlb(src_sw, dst_sw)
-            if other is None:
-                continue
-            cost = cost_fn(other)
-            if cost < cost_vlb:
-                vlb_entry, cost_vlb = other, cost
-        min_path = min_entry[0]
-
-        if cost_min <= cost_vlb + self.threshold:
-            self._apply(packet, min_entry, used_vlb=False)
-            if (
-                self.variant == "par"
-                and min_path.num_hops >= 2
-                and min_path.slots[0] == LOCAL_SLOT
-            ):
-                packet.revisable = True
-        else:
-            self._apply(packet, vlb_entry, used_vlb=True)
+        self.strategy.decide(self, packet, src_sw, dst_sw)
 
     def revise_at(self, packet: Packet, router_idx: int) -> None:
-        """PAR second-hop revision: re-decide MIN-vs-VLB from ``router_idx``.
+        """Mid-route revision hook (PAR's second-hop re-decision).
 
         Called by the network when a revisable packet reaches the second
-        switch of its source group.  The remaining MIN route competes with
-        a fresh VLB path from here; if VLB wins, the remaining route is
-        rewritten using the next VC level.
+        switch of its source group; non-revising strategies ignore it.
         """
         packet.revisable = False
-        if self.variant != "par":
-            return
-        dst_sw = self.topo.switch_of_node(packet.dst_node)
-        if router_idx == dst_sw:
-            return
-        vlb_entry = self._random_vlb(router_idx, dst_sw)
-        if vlb_entry is None:
-            return
-        vlb_path, vlb_ch, _ = vlb_entry
-        remaining = packet.route[packet.hop :]
-        remaining_hops = len(remaining)
-        cost_min = (
-            remaining[0].load_metric() * remaining_hops if remaining else 0
-        )
-        cost_vlb = self._cost_local(vlb_ch, vlb_path.num_hops)
-        if cost_vlb + self.threshold < cost_min:
-            vcs = assign_vcs(
-                vlb_path,
-                self.vc_scheme,
-                hop_offset=packet.hop,
-                revised=True,
-                num_vcs=self.num_vcs,
-            )
-            packet.route = packet.route[: packet.hop] + vlb_ch
-            packet.vcs = packet.vcs[: packet.hop] + vcs
-            packet.path_hops = packet.hop + vlb_path.num_hops
-            packet.used_vlb = True
-            self.par_revised += 1
+        self.strategy.revise(self, packet, router_idx)
 
     # ------------------------------------------------------------------
-    def _apply(self, packet: Packet, entry: Tuple, used_vlb: bool) -> None:
+    def _apply(
+        self, packet: Packet, entry: CandidateEntry, used_vlb: bool
+    ) -> None:
         path, channels, vcs = entry
         packet.route = channels
         packet.vcs = vcs
@@ -259,12 +205,13 @@ def make_routing(
     policy: Optional[PathPolicy] = None,
     rng: Optional[np.random.Generator] = None,
 ) -> RoutingAlgorithm:
-    """Factory accepting both plain and ``t-`` prefixed variant names."""
-    name = variant.lower()
-    if name.startswith("t-"):
-        if policy is None:
-            raise ValueError(
-                f"{variant} is a T-UGAL variant and needs a custom policy"
-            )
-        name = name[2:]
-    return RoutingAlgorithm(network, name, policy=policy, rng=rng)
+    """Factory accepting both plain and ``t-`` prefixed variant names.
+
+    T- prefixes are validated against the registry: only variants that
+    accept a custom policy have a T- form, and a T- form without a policy
+    is an error (the same error the CLI and ``RunSpec`` raise).
+    """
+    from repro.spec.builtins import resolve_routing
+
+    base, _custom = resolve_routing(variant, has_policy=policy is not None)
+    return RoutingAlgorithm(network, base, policy=policy, rng=rng)

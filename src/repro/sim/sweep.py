@@ -61,9 +61,9 @@ class LoadSweep:
 
 
 def latency_vs_load(
-    topo: Dragonfly,
-    pattern: TrafficPattern,
-    loads: Sequence[float],
+    topo,
+    pattern: Optional[TrafficPattern] = None,
+    loads: Optional[Sequence[float]] = None,
     *,
     routing: str = "ugal-l",
     policy: Optional[PathPolicy] = None,
@@ -74,10 +74,32 @@ def latency_vs_load(
 ) -> LoadSweep:
     """Simulate each load in order; optionally stop once saturated.
 
+    Accepts either live objects -- ``latency_vs_load(topo, pattern,
+    loads, ...)`` -- or a single declarative
+    :class:`repro.spec.SweepSpec` as the first argument.
+
     With an ``executor``, every point of the ladder runs concurrently and
     the curve is truncated after the first saturated point, so the result
     list is identical to the serial path (which stops simulating there).
     """
+    if pattern is None and loads is None:
+        from repro.spec import SweepSpec
+
+        if not isinstance(topo, SweepSpec):
+            raise TypeError(
+                "latency_vs_load() needs (topo, pattern, loads, ...) or "
+                "a SweepSpec"
+            )
+        spec = topo
+        topo = spec.topology.build()
+        pattern = spec.pattern.build(topo)
+        loads = spec.loads
+        routing = spec.routing
+        policy = spec.policy.build() if spec.policy is not None else None
+        params = spec.params
+        seed = spec.seed
+    elif pattern is None or loads is None:
+        raise TypeError("latency_vs_load() needs both pattern and loads")
     sweep = LoadSweep(
         routing=routing,
         policy_label=policy.describe() if policy is not None else "all VLB",

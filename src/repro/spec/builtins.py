@@ -1,0 +1,357 @@
+"""Built-in registrations: every shipped pattern, policy, and variant.
+
+Importing this module (which ``repro.spec``'s package init does eagerly)
+fills :data:`~repro.spec.registry.TRAFFIC_REGISTRY`,
+:data:`~repro.spec.registry.POLICY_REGISTRY`, and
+:data:`~repro.spec.registry.ROUTING_REGISTRY` with the package's own
+kinds.  Third-party code registers additional kinds the same way -- see
+``docs/architecture.md`` for a walkthrough.
+
+Also home of :func:`resolve_routing`, the single place that validates
+routing-variant names (including ``t-`` prefixes), so the CLI, the spec
+layer, and ``make_routing`` all reject bad variants with the same words.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.routing.pathset import (
+    AllVlbPolicy,
+    ExcludingPolicy,
+    ExplicitPathSet,
+    HopClassPolicy,
+    StrategicFiveHopPolicy,
+)
+from repro.routing.serialization import policy_from_dict, policy_to_dict
+from repro.sim.strategies import (
+    MinimalStrategy,
+    ParStrategy,
+    RoutingStrategy,
+    UgalGlobalStrategy,
+    UgalLocalStrategy,
+    ValiantStrategy,
+)
+from repro.spec.registry import (
+    POLICY_REGISTRY,
+    ROUTING_REGISTRY,
+    RegistryEntry,
+    SpecError,
+    TRAFFIC_REGISTRY,
+)
+from repro.topology.dragonfly import Dragonfly
+from repro.traffic.mixed import Mixed, TimeMixed
+from repro.traffic.patterns import (
+    GroupSwitchPermutation,
+    RandomPermutation,
+    Shift,
+    UniformRandom,
+)
+
+__all__ = ["resolve_routing", "strategy_for"]
+
+
+# ---------------------------------------------------------------------------
+# Traffic patterns
+# ---------------------------------------------------------------------------
+def _no_args(what: str):
+    def parse(args: str, spec: str) -> Dict[str, Any]:
+        if args:
+            raise SpecError(f"{what} takes no arguments, got {spec!r}")
+        return {}
+
+    return parse
+
+
+def _parse_shift(args: str, spec: str) -> Dict[str, Any]:
+    try:
+        parts = [int(x) for x in args.split(",")] if args else [1]
+    except ValueError:
+        raise SpecError(
+            f"bad pattern spec {spec!r}: shift needs DG[,DS]"
+        ) from None
+    if len(parts) > 2:
+        raise SpecError(f"bad pattern spec {spec!r}: shift needs DG[,DS]")
+    return {"dg": parts[0], "ds": parts[1] if len(parts) > 1 else 0}
+
+
+def _parse_seed_only(what: str):
+    def parse(args: str, spec: str) -> Dict[str, Any]:
+        try:
+            return {"seed": int(args) if args else 0}
+        except ValueError:
+            raise SpecError(
+                f"bad pattern spec {spec!r}: {what} takes an integer SEED"
+            ) from None
+
+    return parse
+
+
+def _parse_mix(args: str, spec: str) -> Dict[str, Any]:
+    parts = args.split(",") if args else []
+    try:
+        if len(parts) not in (2, 3):
+            raise ValueError
+        ur, adv = float(parts[0]), float(parts[1])
+        seed = int(parts[2]) if len(parts) > 2 else 0
+    except ValueError:
+        raise SpecError(
+            f"bad pattern spec {spec!r}: need UR,ADV[,SEED]"
+        ) from None
+    return {
+        "ur_percent": ur,
+        "adv_percent": adv,
+        "seed": seed,
+        # the mini-language always uses the paper's default adversary
+        "adv": {"kind": "shift", "args": {"dg": 1, "ds": 0}},
+    }
+
+
+def _build_mix(cls):
+    def build(args: Dict[str, Any], topo: Dragonfly) -> Any:
+        adv = args.get("adv")
+        adv_pattern = (
+            TRAFFIC_REGISTRY.build(adv["kind"], adv.get("args", {}), topo)
+            if adv
+            else None
+        )
+        return cls(
+            topo,
+            args["ur_percent"],
+            args["adv_percent"],
+            adv=adv_pattern,
+            seed=args.get("seed", 0),
+        )
+
+    return build
+
+
+def _mix_to_dict(pattern: Any) -> Dict[str, Any]:
+    adv_kind, adv_args = TRAFFIC_REGISTRY.spec_of(pattern.adv)
+    return {
+        "ur_percent": float(pattern.ur_percent),
+        "adv_percent": float(pattern.adv_percent),
+        "seed": pattern.seed,
+        "adv": {"kind": adv_kind, "args": adv_args},
+    }
+
+
+TRAFFIC_REGISTRY.register(RegistryEntry(
+    kind="ur",
+    build=lambda args, topo: UniformRandom(topo),
+    to_dict=lambda p: {},
+    parse=_no_args("ur"),
+    cls=UniformRandom,
+    help="ur",
+    example="ur",
+))
+TRAFFIC_REGISTRY.register(RegistryEntry(
+    kind="shift",
+    build=lambda args, topo: Shift(topo, args["dg"], args.get("ds", 0)),
+    to_dict=lambda p: {"dg": p.dg, "ds": p.ds},
+    parse=_parse_shift,
+    cls=Shift,
+    help="shift:DG[,DS]",
+    example="shift:2,0",
+))
+TRAFFIC_REGISTRY.register(RegistryEntry(
+    kind="perm",
+    build=lambda args, topo: RandomPermutation(
+        topo, seed=args.get("seed", 0)
+    ),
+    to_dict=lambda p: {"seed": p.seed},
+    parse=_parse_seed_only("perm"),
+    cls=RandomPermutation,
+    help="perm[:SEED]",
+    example="perm:7",
+))
+TRAFFIC_REGISTRY.register(RegistryEntry(
+    kind="type2",
+    build=lambda args, topo: GroupSwitchPermutation(
+        topo, seed=args.get("seed", 0)
+    ),
+    to_dict=lambda p: {"seed": p.seed},
+    parse=_parse_seed_only("type2"),
+    cls=GroupSwitchPermutation,
+    help="type2[:SEED]",
+    example="type2:3",
+))
+TRAFFIC_REGISTRY.register(RegistryEntry(
+    kind="mixed",
+    build=_build_mix(Mixed),
+    to_dict=_mix_to_dict,
+    parse=_parse_mix,
+    cls=Mixed,
+    help="mixed:UR,ADV[,SEED]",
+    example="mixed:75,25",
+))
+TRAFFIC_REGISTRY.register(RegistryEntry(
+    kind="tmixed",
+    build=_build_mix(TimeMixed),
+    to_dict=_mix_to_dict,
+    parse=_parse_mix,
+    cls=TimeMixed,
+    help="tmixed:UR,ADV[,SEED]",
+    example="tmixed:50,50",
+))
+
+
+# ---------------------------------------------------------------------------
+# Path policies
+# ---------------------------------------------------------------------------
+def _parse_hopclass(args: str, spec: str) -> Dict[str, Any]:
+    parts = args.split(",") if args else []
+    if not parts:
+        raise SpecError("hopclass needs L[,FRAC], e.g. hopclass:4,0.6")
+    try:
+        full = int(parts[0])
+        frac = float(parts[1]) if len(parts) > 1 else 0.0
+        seed = int(parts[2]) if len(parts) > 2 else 0
+        if len(parts) > 3:
+            raise ValueError
+    except ValueError:
+        raise SpecError(
+            f"bad policy spec {spec!r}: hopclass needs L[,FRAC[,SEED]]"
+        ) from None
+    return {"full_hops": full, "extra_fraction": frac, "seed": seed}
+
+
+def _dict_only_policy(kind: str):
+    """Entry codecs for policies with no mini-language (dict/JSON only)."""
+    def build(args: Dict[str, Any]) -> Any:
+        return policy_from_dict({"kind": kind, **args})
+
+    def to_dict(policy: Any) -> Dict[str, Any]:
+        data = policy_to_dict(policy)
+        data.pop("kind")
+        return data
+
+    return build, to_dict
+
+
+_build_excluding, _excluding_to_dict = _dict_only_policy("excluding")
+_build_explicit, _explicit_to_dict = _dict_only_policy("explicit")
+
+POLICY_REGISTRY.register(RegistryEntry(
+    kind="all",
+    build=lambda args: AllVlbPolicy(),
+    to_dict=lambda p: {},
+    parse=_no_args("policy 'all'"),
+    cls=AllVlbPolicy,
+    help="all",
+    example="all",
+))
+POLICY_REGISTRY.register(RegistryEntry(
+    kind="hopclass",
+    build=lambda args: HopClassPolicy(
+        args["full_hops"],
+        args.get("extra_fraction", 0.0),
+        seed=args.get("seed", 0),
+    ),
+    to_dict=lambda p: {
+        "full_hops": p.full_hops,
+        "extra_fraction": float(p.extra_fraction),
+        "seed": p.seed,
+    },
+    parse=_parse_hopclass,
+    cls=HopClassPolicy,
+    help="hopclass:L[,FRAC]",
+    example="hopclass:4,0.6",
+))
+POLICY_REGISTRY.register(RegistryEntry(
+    kind="strategic",
+    build=lambda args: StrategicFiveHopPolicy(args.get("order", "2+3")),
+    to_dict=lambda p: {"order": p.order},
+    parse=lambda args, spec: {"order": args or "2+3"},
+    cls=StrategicFiveHopPolicy,
+    help="strategic:2+3|3+2",
+    example="strategic:2+3",
+))
+POLICY_REGISTRY.register(RegistryEntry(
+    kind="excluding",
+    build=_build_excluding,
+    to_dict=_excluding_to_dict,
+    cls=ExcludingPolicy,
+))
+POLICY_REGISTRY.register(RegistryEntry(
+    kind="explicit",
+    build=_build_explicit,
+    to_dict=_explicit_to_dict,
+    cls=ExplicitPathSet,
+))
+
+
+# ---------------------------------------------------------------------------
+# Routing variants
+# ---------------------------------------------------------------------------
+def _routing_entry(
+    kind: str, strategy_cls: type, accepts_policy: bool
+) -> RegistryEntry:
+    return RegistryEntry(
+        kind=kind,
+        build=lambda args: strategy_cls(),
+        to_dict=lambda s: {},
+        parse=_no_args(f"routing variant {kind!r}"),
+        cls=strategy_cls,
+        help=kind,
+        example=kind,
+        accepts_policy=accepts_policy,
+    )
+
+
+ROUTING_REGISTRY.register(_routing_entry("min", MinimalStrategy, False))
+ROUTING_REGISTRY.register(_routing_entry("vlb", ValiantStrategy, False))
+ROUTING_REGISTRY.register(_routing_entry("ugal-l", UgalLocalStrategy, True))
+ROUTING_REGISTRY.register(_routing_entry("ugal-g", UgalGlobalStrategy, True))
+ROUTING_REGISTRY.register(_routing_entry("par", ParStrategy, True))
+
+
+def resolve_routing(
+    variant: str, *, has_policy: Optional[bool] = None
+) -> Tuple[str, bool]:
+    """Validate a routing-variant name; return ``(base, is_t_variant)``.
+
+    The one shared gate for ``t-`` prefixes: only variants registered with
+    ``accepts_policy`` have a T- form (``t-min``/``t-vlb`` are rejected,
+    they have no custom-policy semantics), and a T- variant given
+    ``has_policy=False`` is an error.  Pass ``has_policy=None`` to skip
+    the policy-presence check.
+    """
+    name = variant.lower()
+    custom = name.startswith("t-")
+    base = name[2:] if custom else name
+    if base not in ROUTING_REGISTRY:
+        plain = list(ROUTING_REGISTRY.kinds())
+        t_forms = [
+            f"t-{e.kind}" for e in ROUTING_REGISTRY if e.accepts_policy
+        ]
+        raise SpecError(
+            f"unknown routing variant {variant!r}: choose from "
+            f"{', '.join(plain + t_forms)}"
+        )
+    if custom and not ROUTING_REGISTRY.get(base).accepts_policy:
+        t_forms = [
+            f"t-{e.kind}" for e in ROUTING_REGISTRY if e.accepts_policy
+        ]
+        raise SpecError(
+            f"unknown routing variant {variant!r}: only variants with "
+            f"custom-policy support have a T- form "
+            f"({', '.join(t_forms)})"
+        )
+    if custom and has_policy is False:
+        raise SpecError(
+            f"{variant} is a T-UGAL variant and needs a custom policy"
+        )
+    return base, custom
+
+
+def strategy_for(variant: str) -> RoutingStrategy:
+    """The registered strategy object for a *plain* variant name."""
+    entry = ROUTING_REGISTRY.get(variant)
+    strategy = entry.build({})
+    if not isinstance(strategy, RoutingStrategy):
+        raise SpecError(
+            f"routing variant {variant!r} built a "
+            f"{type(strategy).__name__}, not a RoutingStrategy"
+        )
+    return strategy

@@ -1,0 +1,175 @@
+"""Pluggable registries for traffic patterns, path policies, and routing.
+
+Every "kind" of pattern/policy/routing variant registers one
+:class:`RegistryEntry` carrying its constructor, its spec-string parser
+(the CLI mini-language), and its canonical-dict codec (the stable
+fingerprint basis).  Consumers -- the CLI, the declarative specs of
+:mod:`repro.spec.specs`, the result cache, the experiments layer -- all
+look kinds up here, so adding a new workload or routing variant is a
+registration, not new wiring code.
+
+This module is deliberately dependency-free (stdlib only): it can be
+imported from anywhere in the package without creating import cycles.
+The built-in entries are registered by :mod:`repro.spec.builtins`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple
+
+__all__ = [
+    "POLICY_REGISTRY",
+    "Registry",
+    "RegistryEntry",
+    "ROUTING_REGISTRY",
+    "SpecError",
+    "TRAFFIC_REGISTRY",
+]
+
+
+class SpecError(ValueError):
+    """A spec string, spec dict, or live object could not be interpreted.
+
+    Subclasses :class:`ValueError` so legacy ``except ValueError`` sites
+    (and tests) keep working; the CLI converts it into a clean
+    ``SystemExit`` with the identical message, so the Python API and the
+    command line report errors with the same words.
+    """
+
+
+# A parser receives (args, full_spec): the text after the first ":" and
+# the full spec string (for error messages).  It returns the canonical
+# argument dict.
+SpecParser = Callable[[str, str], Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered kind: constructor + parser + canonical-dict codec."""
+
+    kind: str
+    # (canonical args dict, *context) -> live object.  Patterns receive
+    # the topology as context; policies and routing strategies take none.
+    build: Callable[..., Any]
+    # live object -> canonical args dict (inverse of build); None when the
+    # kind has no live-object representation to recover a spec from.
+    to_dict: Optional[Callable[[Any], Dict[str, Any]]] = None
+    # mini-language parser; None for dict-only kinds (no spec string).
+    parse: Optional[SpecParser] = None
+    # exact type used for reverse lookup (spec_of); subclasses do NOT
+    # match -- an ad-hoc subclass may change behaviour the spec cannot see.
+    cls: Optional[type] = None
+    # mini-language synopsis, e.g. "shift:DG[,DS]"
+    help: str = ""
+    # a parseable example spec string (registry self-check material)
+    example: str = ""
+    # routing-only: may this variant take a custom VLB path policy
+    # (i.e. does it have a T- form)?
+    accepts_policy: bool = False
+
+
+class Registry:
+    """An ordered mapping of kind name -> :class:`RegistryEntry`."""
+
+    def __init__(self, name: str, what: str) -> None:
+        self.name = name  # e.g. "TRAFFIC_REGISTRY" (for error messages)
+        self.what = what  # e.g. "pattern"
+        self._entries: Dict[str, RegistryEntry] = {}
+        self._by_cls: Dict[type, RegistryEntry] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, entry: RegistryEntry) -> RegistryEntry:
+        """Add an entry; kind names and classes must be unique."""
+        if entry.kind in self._entries:
+            raise ValueError(
+                f"{self.name}: kind {entry.kind!r} is already registered"
+            )
+        if entry.cls is not None and entry.cls in self._by_cls:
+            raise ValueError(
+                f"{self.name}: class {entry.cls.__name__} is already "
+                f"registered (as {self._by_cls[entry.cls].kind!r})"
+            )
+        self._entries[entry.kind] = entry
+        if entry.cls is not None:
+            self._by_cls[entry.cls] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    def kinds(self) -> Tuple[str, ...]:
+        """Registered kind names in registration order."""
+        return tuple(self._entries)
+
+    def get(self, kind: str) -> RegistryEntry:
+        """The entry for a kind, or :class:`SpecError` when unknown."""
+        entry = self._entries.get(kind)
+        if entry is None:
+            raise SpecError(
+                f"unknown {self.what} {kind!r}: choose from "
+                f"{', '.join(self.kinds())}"
+            )
+        return entry
+
+    def help_text(self) -> str:
+        """The mini-language synopsis of every parseable kind."""
+        return " | ".join(
+            e.help or e.kind for e in self._entries.values() if e.parse
+        )
+
+    # ------------------------------------------------------------------
+    def parse(self, spec: str) -> Tuple[str, Dict[str, Any]]:
+        """Parse a mini-language spec string into (kind, canonical args)."""
+        name, _, args = spec.partition(":")
+        name = name.strip().lower()
+        entry = self._entries.get(name)
+        if entry is None or entry.parse is None:
+            raise SpecError(
+                f"unknown {self.what} {spec!r}: use {self.help_text()}"
+            )
+        return name, entry.parse(args, spec)
+
+    def spec_of(self, obj: Any) -> Tuple[str, Dict[str, Any]]:
+        """Recover (kind, canonical args) from a live object.
+
+        Dispatch is on the *exact* type: instances of unregistered
+        subclasses raise :class:`SpecError` rather than risking a spec
+        that does not describe their actual behaviour.
+        """
+        entry = self._by_cls.get(type(obj))
+        if entry is None or entry.to_dict is None:
+            raise SpecError(
+                f"no registered spec for {self.what} type "
+                f"{type(obj).__name__}"
+            )
+        return entry.kind, entry.to_dict(obj)
+
+    def build(self, kind: str, args: Mapping[str, Any], *context: Any) -> Any:
+        """Construct the live object for a kind from its canonical args."""
+        entry = self.get(kind)
+        try:
+            return entry.build(dict(args), *context)
+        except SpecError:
+            raise
+        except (TypeError, ValueError, KeyError) as exc:
+            raise SpecError(
+                f"invalid {self.what} {kind!r} arguments "
+                f"{dict(args)!r}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def __contains__(self, kind: object) -> bool:
+        return kind in self._entries
+
+    def __iter__(self) -> Iterator[RegistryEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}({', '.join(self.kinds())})"
+
+
+TRAFFIC_REGISTRY = Registry("TRAFFIC_REGISTRY", "pattern")
+POLICY_REGISTRY = Registry("POLICY_REGISTRY", "policy")
+ROUTING_REGISTRY = Registry("ROUTING_REGISTRY", "routing variant")

@@ -49,6 +49,7 @@ class Mixed(TrafficPattern):
         super().__init__(topo)
         self.ur_percent = ur_percent
         self.adv_percent = adv_percent
+        self.seed = seed
         self.ur = UniformRandom(topo)
         self.adv = adv if adv is not None else Shift(topo, 1, 0)
         rng = np.random.default_rng(seed)
@@ -110,6 +111,7 @@ class TimeMixed(TrafficPattern):
         super().__init__(topo)
         self.ur_percent = ur_percent
         self.adv_percent = adv_percent
+        self.seed = seed
         self.ur = UniformRandom(topo)
         self.adv = adv if adv is not None else Shift(topo, 1, 0)
 

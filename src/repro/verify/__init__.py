@@ -11,7 +11,11 @@ without running a simulation:
   VC budget, load-balance bounds) as toggleable rules;
 * :mod:`repro.verify.report` packages both into a :class:`VerifyReport`
   with text/JSON rendering, exposed on the CLI as ``python -m repro
-  verify`` and as the ``SimParams(verify=True)`` engine pre-flight gate.
+  verify`` and as the ``SimParams(verify=True)`` engine pre-flight gate;
+* :mod:`repro.verify.registry` cross-checks the ``repro.spec`` registries
+  against their consumers (examples parse, build, round-trip, fingerprint;
+  the routing registry matches the simulator's variant list), runnable as
+  ``python -m repro.verify.registry`` in CI.
 """
 
 from repro.verify.cdg import (
@@ -21,6 +25,7 @@ from repro.verify.cdg import (
     certify_deadlock_freedom,
 )
 from repro.verify.lint import LINT_RULES, Finding, lint_pathset
+from repro.verify.registry import check_registries
 from repro.verify.report import VerifyReport, verify_config
 
 __all__ = [
@@ -28,6 +33,7 @@ __all__ = [
     "ChannelDependencyGraph",
     "build_cdg",
     "certify_deadlock_freedom",
+    "check_registries",
     "Finding",
     "LINT_RULES",
     "lint_pathset",

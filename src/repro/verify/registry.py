@@ -1,0 +1,208 @@
+"""Registry consistency self-check for the ``repro.spec`` registries.
+
+Static cross-checks between the pluggable registries and their consumers,
+run in CI next to ruff/mypy so a half-registered kind (parseable but not
+buildable, buildable but not fingerprintable, registered in the spec layer
+but missing from the simulator's variant list) fails the lint job instead
+of surfacing as a confusing runtime error.
+
+Checks, per registry:
+
+* every routing variant the simulator advertises
+  (:data:`repro.sim.routing.ROUTING_VARIANTS`) is registered, and vice
+  versa, in the same order;
+* every parseable entry ships a non-empty ``example`` spec string, the
+  example parses back to the entry's own kind, and parsing is
+  deterministic (two parses agree);
+* the parsed canonical args build a live object, the live object's type
+  matches the registered ``cls``, and -- when a ``to_dict`` codec exists --
+  the object round-trips back to the identical canonical args;
+* the resulting spec (:class:`~repro.spec.PatternSpec` /
+  :class:`~repro.spec.PolicySpec`) survives ``to_dict``/``from_dict`` and
+  keeps a stable fingerprint across the round trip;
+* routing entries build :class:`~repro.sim.strategies.RoutingStrategy`
+  instances and their ``accepts_policy`` flags agree with
+  :func:`~repro.spec.resolve_routing`'s T- form gate.
+
+Run as a module -- ``python -m repro.verify.registry`` -- it prints each
+problem and exits non-zero when any check fails.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+__all__ = ["check_registries"]
+
+
+def _check_example(registry: Any, problems: List[str]) -> None:
+    """Parse/build/round-trip every parseable entry's example spec."""
+    for entry in registry:
+        if entry.parse is None:
+            continue  # dict-only kind: no mini-language to exercise
+        where = f"{registry.name}[{entry.kind!r}]"
+        if not entry.example:
+            problems.append(f"{where}: parseable entry has no example")
+            continue
+        try:
+            kind, args = registry.parse(entry.example)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            problems.append(
+                f"{where}: example {entry.example!r} does not parse: {exc}"
+            )
+            continue
+        if kind != entry.kind:
+            problems.append(
+                f"{where}: example {entry.example!r} parses as kind "
+                f"{kind!r}"
+            )
+            continue
+        _, again = registry.parse(entry.example)
+        if again != args:
+            problems.append(
+                f"{where}: parsing {entry.example!r} twice disagrees: "
+                f"{args!r} vs {again!r}"
+            )
+
+
+def _check_traffic(problems: List[str]) -> None:
+    from repro.spec import TRAFFIC_REGISTRY, PatternSpec
+    from repro.topology.dragonfly import Dragonfly
+
+    _check_example(TRAFFIC_REGISTRY, problems)
+    topo = Dragonfly(2, 4, 2, 3)
+    for entry in TRAFFIC_REGISTRY:
+        if entry.parse is None or not entry.example:
+            continue
+        where = f"TRAFFIC_REGISTRY[{entry.kind!r}]"
+        try:
+            spec = PatternSpec.parse(entry.example)
+            pattern = spec.build(topo)
+        except Exception as exc:  # noqa: BLE001
+            problems.append(f"{where}: example does not build: {exc}")
+            continue
+        if entry.cls is not None and type(pattern) is not entry.cls:
+            problems.append(
+                f"{where}: example built a {type(pattern).__name__}, "
+                f"registered class is {entry.cls.__name__}"
+            )
+            continue
+        if entry.to_dict is not None:
+            recovered = PatternSpec.of(pattern)
+            if recovered != spec:
+                problems.append(
+                    f"{where}: build/of round trip changed the spec: "
+                    f"{spec.to_dict()!r} vs {recovered.to_dict()!r}"
+                )
+        round_trip = PatternSpec.from_dict(spec.to_dict())
+        if round_trip != spec or round_trip.fingerprint() != spec.fingerprint():
+            problems.append(
+                f"{where}: to_dict/from_dict round trip is unstable"
+            )
+
+
+def _check_policies(problems: List[str]) -> None:
+    from repro.spec import POLICY_REGISTRY, PolicySpec
+
+    _check_example(POLICY_REGISTRY, problems)
+    for entry in POLICY_REGISTRY:
+        if entry.parse is None or not entry.example:
+            continue
+        where = f"POLICY_REGISTRY[{entry.kind!r}]"
+        try:
+            spec = PolicySpec.parse(entry.example)
+            policy = spec.build()
+        except Exception as exc:  # noqa: BLE001
+            problems.append(f"{where}: example does not build: {exc}")
+            continue
+        if entry.cls is not None and type(policy) is not entry.cls:
+            problems.append(
+                f"{where}: example built a {type(policy).__name__}, "
+                f"registered class is {entry.cls.__name__}"
+            )
+            continue
+        if entry.to_dict is not None:
+            recovered = PolicySpec.of(policy)
+            if recovered != spec:
+                problems.append(
+                    f"{where}: build/of round trip changed the spec: "
+                    f"{spec.to_dict()!r} vs {recovered.to_dict()!r}"
+                )
+        round_trip = PolicySpec.from_dict(spec.to_dict())
+        if round_trip != spec or round_trip.fingerprint() != spec.fingerprint():
+            problems.append(
+                f"{where}: to_dict/from_dict round trip is unstable"
+            )
+
+
+def _check_routing(problems: List[str]) -> None:
+    from repro.sim.routing import ROUTING_VARIANTS
+    from repro.sim.strategies import RoutingStrategy
+    from repro.spec import ROUTING_REGISTRY, SpecError, resolve_routing
+
+    if ROUTING_REGISTRY.kinds() != tuple(ROUTING_VARIANTS):
+        problems.append(
+            "ROUTING_REGISTRY and repro.sim.routing.ROUTING_VARIANTS "
+            f"disagree: {ROUTING_REGISTRY.kinds()!r} vs "
+            f"{tuple(ROUTING_VARIANTS)!r}"
+        )
+    _check_example(ROUTING_REGISTRY, problems)
+    for entry in ROUTING_REGISTRY:
+        where = f"ROUTING_REGISTRY[{entry.kind!r}]"
+        try:
+            strategy = entry.build({})
+        except Exception as exc:  # noqa: BLE001
+            problems.append(f"{where}: does not build: {exc}")
+            continue
+        if not isinstance(strategy, RoutingStrategy):
+            problems.append(
+                f"{where}: built a {type(strategy).__name__}, not a "
+                f"RoutingStrategy"
+            )
+        base, custom = resolve_routing(entry.kind)
+        if (base, custom) != (entry.kind, False):
+            problems.append(
+                f"{where}: resolve_routing({entry.kind!r}) returned "
+                f"({base!r}, {custom!r})"
+            )
+        t_ok = True
+        try:
+            resolve_routing(f"t-{entry.kind}")
+        except SpecError:
+            t_ok = False
+        if t_ok != entry.accepts_policy:
+            problems.append(
+                f"{where}: accepts_policy={entry.accepts_policy} but "
+                f"resolve_routing {'accepts' if t_ok else 'rejects'} "
+                f"'t-{entry.kind}'"
+            )
+
+
+def check_registries() -> List[str]:
+    """Run every registry consistency check; return the problems found."""
+    problems: List[str] = []
+    _check_traffic(problems)
+    _check_policies(problems)
+    _check_routing(problems)
+    return problems
+
+
+def main() -> int:
+    problems = check_registries()
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if problems:
+        return 1
+    from repro.spec import POLICY_REGISTRY, ROUTING_REGISTRY, TRAFFIC_REGISTRY
+
+    print(
+        "registry consistency OK: "
+        f"{len(TRAFFIC_REGISTRY)} patterns, "
+        f"{len(POLICY_REGISTRY)} policies, "
+        f"{len(ROUTING_REGISTRY)} routing variants"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

@@ -39,14 +39,20 @@ PUBLIC_MODULES = [
     "repro.sim.packet",
     "repro.sim.network",
     "repro.sim.routing",
+    "repro.sim.strategies",
     "repro.sim.vc",
     "repro.sim.engine",
     "repro.sim.stats",
     "repro.sim.sweep",
     "repro.sim.replication",
+    "repro.spec",
+    "repro.spec.registry",
+    "repro.spec.builtins",
+    "repro.spec.specs",
     "repro.verify",
     "repro.verify.cdg",
     "repro.verify.lint",
+    "repro.verify.registry",
     "repro.verify.report",
     "repro.experiments",
     "repro.experiments.report",

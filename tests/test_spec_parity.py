@@ -1,0 +1,115 @@
+"""LegacyParity: spec-driven runs reproduce the pre-refactor simulator.
+
+The values below were captured on the live-object ``simulate()`` path
+*before* the routing logic moved into registered strategy objects and the
+spec layer was threaded through the engine.  Every variant must keep
+producing bit-identical results for the same seed -- any drift means the
+refactor changed RNG draw order or routing behaviour.
+"""
+
+import pytest
+
+from repro.routing.pathset import StrategicFiveHopPolicy
+from repro.sim import SimParams, simulate
+from repro.spec import PatternSpec, PolicySpec, RunSpec, TopologySpec
+from repro.topology import Dragonfly
+from repro.traffic import Shift
+from repro.traffic.mixed import Mixed, TimeMixed
+
+TOPO = Dragonfly(4, 8, 4, 9)
+PARAMS = SimParams(window_cycles=60)
+LOAD = 0.1
+SEED = 3
+
+# variant -> (avg_latency, p99_latency, accepted_rate, avg_hops,
+#             vlb_fraction) on shift(2,0)
+BASELINE = {
+    "min": (47.62528604118993, 79.0, 0.1011574074074074,
+            2.7242562929061784, 0.0),
+    "vlb": (78.81491562329886, 88.0, 0.10630787037037037,
+            5.502449646162221, 1.0),
+    "ugal-l": (60.61512791991101, 86.0, 0.10405092592592592,
+               4.201890989988876, 0.5344827586206896),
+    "ugal-g": (60.798453892876864, 86.0, 0.10480324074074074,
+               4.198785201546107, 0.571507454445058),
+    "par": (64.03897550111358, 98.0, 0.10393518518518519,
+            4.452672605790646, 0.6085746102449888),
+}
+
+# T- variants with the strategic 2+3 policy
+T_BASELINE = {
+    "t-ugal-l": (55.3729216152019, 74.0, 0.09745370370370371,
+                 3.763657957244656, 0.565914489311164),
+    "t-par": (59.71394230769231, 86.0, 0.0962962962962963,
+              4.0811298076923075, 0.65625),
+}
+
+# seed-bearing patterns under ugal-l -> (avg_latency, accepted_rate)
+PATTERN_BASELINE = {
+    "perm:7": (48.97469066366704, 0.10289351851851852),
+    "mixed:50,50,5": (50.03579295154185, 0.1050925925925926),
+    "tmixed:50,50": (50.05439093484419, 0.1021412037037037),
+}
+
+
+def _metrics(result):
+    return (
+        result.avg_latency,
+        result.p99_latency,
+        result.accepted_rate,
+        result.avg_hops,
+        result.vlb_fraction,
+    )
+
+
+def _spec(pattern="shift:2,0", routing="ugal-l", policy=None):
+    return RunSpec(
+        topology=TopologySpec.of(TOPO),
+        pattern=PatternSpec.parse(pattern),
+        load=LOAD,
+        routing=routing,
+        policy=policy,
+        params=PARAMS,
+        seed=SEED,
+    )
+
+
+@pytest.mark.parametrize("variant", sorted(BASELINE))
+def test_variant_parity(variant):
+    spec = _spec(routing=variant)
+    assert _metrics(spec.run()) == BASELINE[variant]
+    # the live-object path goes through the same strategies
+    legacy = simulate(
+        TOPO, Shift(TOPO, 2, 0), LOAD, routing=variant, params=PARAMS,
+        seed=SEED,
+    )
+    assert _metrics(legacy) == BASELINE[variant]
+
+
+@pytest.mark.parametrize("variant", sorted(T_BASELINE))
+def test_t_variant_parity(variant):
+    spec = _spec(routing=variant, policy=PolicySpec.parse("strategic:2+3"))
+    assert _metrics(spec.run()) == T_BASELINE[variant]
+    legacy = simulate(
+        TOPO, Shift(TOPO, 2, 0), LOAD, routing=variant,
+        policy=StrategicFiveHopPolicy("2+3"), params=PARAMS, seed=SEED,
+    )
+    assert _metrics(legacy) == T_BASELINE[variant]
+
+
+@pytest.mark.parametrize("pattern_spec", sorted(PATTERN_BASELINE))
+def test_seeded_pattern_parity(pattern_spec):
+    result = _spec(pattern=pattern_spec).run()
+    expected = PATTERN_BASELINE[pattern_spec]
+    assert (result.avg_latency, result.accepted_rate) == expected
+
+
+def test_spec_and_live_mixed_agree():
+    """Spec-built Mixed/TimeMixed equal hand-constructed ones."""
+    for cls, spec_str in ((Mixed, "mixed:50,50,5"), (TimeMixed, "tmixed:50,50")):
+        live = cls(TOPO, 50, 50, seed=5 if cls is Mixed else 0)
+        by_spec = _spec(pattern=spec_str).run()
+        by_live = simulate(
+            TOPO, live, LOAD, routing="ugal-l", params=PARAMS, seed=SEED
+        )
+        assert _metrics(by_spec) == _metrics(by_live)
