@@ -1,0 +1,38 @@
+"""LP model fast-path benchmark: legacy assembly vs factored pipeline.
+
+Wall-clock for a Step-1 sweep (Table-1 datapoints x adversarial
+patterns) through the legacy per-solve assembly and the factored fast
+path, cold and warm.  The speedup assertion is intentionally loose
+(cold >= 3x on the paper topology); the parity assertion is not.
+"""
+
+import os
+
+from repro.perf.bench import bench_model
+
+DATAPOINTS = int(os.environ.get("REPRO_MODEL_DATAPOINTS", "6"))
+PATTERNS = int(os.environ.get("REPRO_MODEL_PATTERNS", "10"))
+
+
+def test_model_bench(benchmark, tmp_path):
+    record = benchmark.pedantic(
+        bench_model,
+        kwargs={
+            "num_datapoints": DATAPOINTS,
+            "num_patterns": PATTERNS,
+            "cache_dir": str(tmp_path / "cache"),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"model ({record['num_datapoints']} datapoints x "
+        f"{record['num_patterns']} patterns): "
+        f"legacy {record['legacy_seconds']:.2f}s, "
+        f"fast {record['fast_cold_seconds']:.2f}s cold / "
+        f"{record['fast_warm_seconds']:.2f}s warm, "
+        f"warm cache {record['cached_seconds']:.3f}s"
+    )
+    assert record["identical_results"], "fast path diverged from legacy"
+    assert record["speedup"] > 3

@@ -11,7 +11,7 @@ import os
 from repro.perf.bench import bench_sweep
 
 WINDOW = int(os.environ.get("REPRO_WINDOW", "300"))
-JOBS = int(os.environ.get("REPRO_JOBS", "8"))
+JOBS = int(os.environ.get("REPRO_JOBS", str(os.cpu_count() or 1)))
 
 
 def test_sweep_bench(benchmark, tmp_path):

@@ -6,6 +6,8 @@ Commands:
 * ``paths``  -- MIN paths and the VLB hop-class histogram of a switch pair
 * ``bounds`` -- closed-form capacity bounds
 * ``model``  -- LP modeled throughput for a pattern and candidate set
+  (``--engine fast|legacy`` picks the factored fast path or the
+  original assembly; ``--jobs/--cache`` batch and memoize solves)
 * ``sim``    -- one simulation run at a fixed load
 * ``sweep``  -- a latency-vs-load ladder (``--jobs N`` fans the points
   out over worker processes; ``--cache`` reuses on-disk results)
@@ -179,22 +181,25 @@ def _cmd_bounds(args) -> int:
 
 
 def _cmd_model(args) -> int:
-    from repro.model import model_throughput
+    from repro.perf import ModelTask
 
     topo = parse_topology(args.topology, args.arrangement)
     pattern = parse_pattern(topo, args.pattern)
     policy = parse_policy(args.policy)
-    res = model_throughput(
-        topo,
-        pattern.demand_matrix(),
+    task = ModelTask(
+        topo=topo,
+        pattern=pattern,
         policy=policy,
         mode=args.mode,
         monotonic=not args.no_monotonic,
         max_descriptors=args.max_descriptors,
+        engine=args.engine,
     )
+    with _make_executor(args) as executor:
+        res = executor.run_models([task])[0]
     print(
         f"{topo} {pattern.describe()} policy={policy.describe()} "
-        f"mode={args.mode}"
+        f"mode={args.mode} engine={args.engine}"
     )
     print(f"  modeled throughput : {res.throughput:.4f}")
     print(f"  MIN fraction       : {res.min_fraction:.4f}")
@@ -277,8 +282,9 @@ def _cmd_bench(args) -> int:
     from repro.perf.bench import main as bench_main
 
     argv = ["--out", args.out, "--topology", args.topology,
-            "--window", str(args.window), "--jobs", str(args.jobs),
-            "--points", str(args.points)]
+            "--window", str(args.window), "--points", str(args.points)]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
     if args.cache_dir:
         argv += ["--cache-dir", args.cache_dir]
     if args.quick:
@@ -298,6 +304,7 @@ def _cmd_tvlb(args) -> int:
             sim_params=SimParams(window_cycles=args.window),
             seed=args.seed,
             executor=executor,
+            model_engine=args.model_engine,
         )
     print(f"T-VLB for {topo}: {res.label}")
     print(f"converged to conventional UGAL: {res.converged_to_ugal}")
@@ -384,6 +391,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--mode", default="free", choices=["free", "uniform"])
     p.add_argument("--no-monotonic", action="store_true")
     p.add_argument("--max-descriptors", type=int, default=None)
+    p.add_argument("--engine", default="fast", choices=["fast", "legacy"],
+                   help="LP assembly engine: factored fast path (default) "
+                        "or the original per-solve baseline")
+    _exec_args(p)
     p.set_defaults(func=_cmd_model)
 
     p = sub.add_parser("sim", help="one simulation run")
@@ -424,6 +435,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--save", default=None,
                    help="write the chosen policy to this JSON file")
+    p.add_argument("--model-engine", default="fast",
+                   choices=["fast", "legacy"],
+                   help="LP engine for the Step-1 sweep (default fast)")
     _exec_args(p)
     p.set_defaults(func=_cmd_tvlb)
 
@@ -470,7 +484,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--topology", "-t", default="4,8,4,9")
     p.add_argument("--out", default="BENCH_sim.json")
     p.add_argument("--window", type=int, default=300)
-    p.add_argument("--jobs", type=int, default=8)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: the host's CPU count)")
     p.add_argument("--points", type=int, default=8)
     p.add_argument("--cache-dir", default=None)
     p.add_argument("--quick", action="store_true")

@@ -121,7 +121,7 @@ def model_evaluator(
             weights_for_policy(
                 policy.base if hasattr(policy, "base") else policy
             )
-        except TypeError:
+        except (TypeError, ValueError):
             return -1.0  # not representable in the class-weight model
         target = policy.base if hasattr(policy, "base") else policy
         scores = [
@@ -228,6 +228,7 @@ def compute_tvlb(
     seed: int = 0,
     datapoints: Optional[Sequence[HopClassPolicy]] = None,
     executor: Optional["SweepExecutor"] = None,
+    model_engine: str = "fast",
 ) -> TvlbResult:
     """Run Algorithm 1 and return the T-VLB policy for ``topo``.
 
@@ -242,6 +243,13 @@ def compute_tvlb(
     (``repro.verify``: deadlock-freedom certification under PAR plus the
     path-set lint) before being returned; a failed verification raises
     ``RuntimeError`` so a broken set can never reach the simulator.
+
+    ``model_engine`` selects the Step-1 LP solver (``"fast"`` -- the
+    factored :class:`~repro.model.fastpath.FastModel` pipeline, the
+    default -- or ``"legacy"``, the original per-solve assembly); an
+    ``executor`` additionally fans both the Step-1 model solves and the
+    Step-2 simulation points out across its worker pool and result
+    cache.
     """
     rng = np.random.default_rng(seed)
 
@@ -263,7 +271,17 @@ def compute_tvlb(
         if datapoints is not None
         else table1_datapoints(step=step, seed=seed)
     )
-    sweep = step1_sweep(topo, patterns, grid, cache=cache, mode="free")
+    sweep = step1_sweep(
+        topo,
+        patterns,
+        grid,
+        cache=cache,
+        max_descriptors=max_descriptors,
+        mode="free",
+        engine=model_engine,
+        executor=executor,
+        seed=seed,
+    )
     vicinity = candidate_vicinity(sweep, rel_tol=vicinity_tol)
 
     # shortest-average-length first (T-UGAL property 2)

@@ -1,0 +1,858 @@
+"""Factored fast path for the LP throughput model.
+
+:func:`repro.model.lp_model.model_throughput` rebuilds everything per
+call: it re-enumerates every VLB path of every demand pair and re-creates
+the sparse constraint matrix entry by entry.  Profiling a Step-1 sweep on
+``dfly(4,8,4,9)`` shows ~85% of wall time in that per-pair path
+enumeration (~17 ms/pair) and most of the rest in Python-loop assembly.
+
+This module splits the solve into three layers, each cached at its own
+lifetime:
+
+* **Per topology** -- :class:`PairBlock` path statistics (MIN usage plus
+  per leg-split class VLB channel-usage vectors), built by a closed-form
+  vectorized enumerator (:func:`build_pair_block`) instead of
+  materializing paths one by one, memoized in :class:`BlockCache` and
+  folded over verified rotation symmetry
+  (:class:`~repro.model.symmetry.RotationSymmetry`): one orbit
+  representative is computed, every other ordered pair of the orbit is a
+  channel-relabeling of it.
+* **Per pattern** -- a stacked COO skeleton of the channel-capacity block
+  (channel / class / pair / value streams in the legacy first-touch
+  order) plus injection/ejection rows, derived once per demand matrix.
+* **Per solve** -- a cheap patch: leg-split class weights from the
+  policy, the first-touch row map for the induced class mask (memoized
+  per mask), scaled values, equality rows, and the ``linprog`` call.
+
+Results match the legacy solver to tight numerical tolerance (see the
+parity suite in ``tests/test_model_fastpath.py``); the legacy path stays
+untouched as the baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import coo_matrix
+
+from repro.model.lp_model import (
+    ModelResult,
+    model_throughput,
+    weights_for_policy,
+)
+from repro.model.pathstats import (
+    ClassStats,
+    PairPathStats,
+    PathStatsCache,
+    compute_pair_stats,
+)
+from repro.model.symmetry import RotationSymmetry
+from repro.routing.channels import ChannelIndex
+from repro.routing.minimal import min_paths
+from repro.routing.paths import Channel
+from repro.routing.pathset import PathPolicy
+from repro.routing.vlb import count_vlb_paths
+from repro.topology.dragonfly import Dragonfly
+
+__all__ = [
+    "PairBlock",
+    "BlockCache",
+    "FastModel",
+    "build_pair_block",
+    "fast_model_throughput",
+]
+
+WeightFn = Callable[[int, int], float]
+
+NUM_CLASSES = 9  # leg splits (l1, l2), l1, l2 in 1..3
+# class id c <-> split (c // 3 + 1, c % 3 + 1); total hops per class:
+CLASS_HOPS = np.array([2, 3, 4, 3, 4, 5, 4, 5, 6], dtype=np.int64)
+
+
+def _class_split(cls: int) -> Tuple[int, int]:
+    return cls // 3 + 1, cls % 3 + 1
+
+
+def _split_class(l1: int, l2: int) -> int:
+    return (l1 - 1) * 3 + (l2 - 1)
+
+
+@dataclass
+class PairBlock:
+    """Array-form path statistics of one ordered switch pair.
+
+    The flat-array equivalent of
+    :class:`~repro.model.pathstats.PairPathStats`: ``min_idx/min_val``
+    hold the per-packet MIN channel usage, and the VLB side is grouped by
+    leg-split class id (``cls_id`` ascending): ``counts[c]`` paths in
+    class ``c``, with aggregate channel-usage entries
+    ``(cls_idx[i], cls_val[i])`` for every ``i`` with ``cls_id[i] == c``.
+    Counts and usages are whole path counts (integer-exact in float64),
+    scaled back up when the legacy enumerator subsampled.
+    """
+
+    src: int
+    dst: int
+    min_count: int
+    min_idx: np.ndarray
+    min_val: np.ndarray
+    counts: np.ndarray  # (NUM_CLASSES,) effective path count per class
+    cls_id: np.ndarray  # (nnz,) int8, ascending
+    cls_idx: np.ndarray  # (nnz,) channel indices
+    cls_val: np.ndarray  # (nnz,) aggregate uses
+
+    @staticmethod
+    def from_stats(stats: PairPathStats) -> "PairBlock":
+        """Convert legacy per-pair stats (the fallback enumerator)."""
+        counts = np.zeros(NUM_CLASSES, dtype=np.float64)
+        ids: List[int] = []
+        idxs: List[int] = []
+        vals: List[float] = []
+        for split, cs in sorted(stats.classes.items()):
+            c = _split_class(*split)
+            counts[c] = float(cs.count)
+            for idx in sorted(cs.usage):
+                ids.append(c)
+                idxs.append(idx)
+                vals.append(cs.usage[idx])
+        return PairBlock(
+            src=stats.src,
+            dst=stats.dst,
+            min_count=stats.min_count,
+            min_idx=np.fromiter(
+                stats.min_usage.keys(), dtype=np.int64, count=len(stats.min_usage)
+            ),
+            min_val=np.fromiter(
+                stats.min_usage.values(),
+                dtype=np.float64,
+                count=len(stats.min_usage),
+            ),
+            counts=counts,
+            cls_id=np.asarray(ids, dtype=np.int8),
+            cls_idx=np.asarray(idxs, dtype=np.int64),
+            cls_val=np.asarray(vals, dtype=np.float64),
+        )
+
+    def to_stats(self) -> PairPathStats:
+        """Back to the dict form consumed by the legacy solver."""
+        classes: Dict[Tuple[int, int], ClassStats] = {}
+        for c in range(NUM_CLASSES):
+            if self.counts[c] <= 0:
+                continue
+            sel = self.cls_id == c
+            usage = {
+                int(i): float(v)
+                for i, v in zip(self.cls_idx[sel], self.cls_val[sel])
+            }
+            cs = ClassStats(count=int(round(self.counts[c])), usage=usage)
+            classes[_class_split(c)] = cs
+        min_usage = {
+            int(i): float(v) for i, v in zip(self.min_idx, self.min_val)
+        }
+        return PairPathStats(
+            self.src, self.dst, self.min_count, min_usage, classes
+        )
+
+    def permuted(
+        self, perm: np.ndarray, src: int, dst: int
+    ) -> "PairBlock":
+        """Relabel channel indices through an automorphism's permutation.
+
+        Counts and values are untouched -- only channel identities move --
+        so the result is the exact statistics of the rotated pair.  VLB
+        entries are re-sorted to restore the ascending-per-class channel
+        order every direct build produces (``min_idx`` keeps its stream
+        order: rotations preserve global-link slot order, so the mapped
+        MIN entries already arrive in the rotated pair's own order).
+        """
+        cls_idx = perm[self.cls_idx]
+        order = np.lexsort((cls_idx, self.cls_id))
+        return PairBlock(
+            src=src,
+            dst=dst,
+            min_count=self.min_count,
+            min_idx=perm[self.min_idx],
+            min_val=self.min_val,
+            counts=self.counts,
+            cls_id=self.cls_id[order],
+            cls_idx=cls_idx[order],
+            cls_val=self.cls_val[order],
+        )
+
+
+class _TopoTables:
+    """Per-topology lookup tables shared by all vectorized pair builds."""
+
+    def __init__(self, topo: Dragonfly, chidx: ChannelIndex) -> None:
+        self.topo = topo
+        self.chidx = chidx
+        n, a = topo.num_switches, topo.a
+        local_idx = np.full((n, a), -1, dtype=np.int64)
+        for u in range(n):
+            for v in topo.local_neighbors(u):
+                local_idx[u, topo.local_index(v)] = chidx.index(Channel(u, v))
+        self.local_idx = local_idx
+        self._legs: Dict[
+            Tuple[int, int], Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
+
+    def legs(
+        self, gfrom: int, gto: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-slot arrays ``(x, y, chan)`` of the directed group hop.
+
+        ``x[r]``/``y[r]`` are the endpoint switches of slot ``r`` on the
+        from/to side; ``chan[r]`` the directed channel index.
+        """
+        key = (gfrom, gto)
+        out = self._legs.get(key)
+        if out is None:
+            links = self.topo.links_between_groups(gfrom, gto)
+            x = np.asarray(
+                [ln.endpoint_in(gfrom) for ln in links], dtype=np.int64
+            )
+            y = np.asarray(
+                [ln.endpoint_in(gto) for ln in links], dtype=np.int64
+            )
+            chan = np.asarray(
+                [
+                    self.chidx.index(
+                        Channel(ln.endpoint_in(gfrom), ln.endpoint_in(gto), ln.slot)
+                    )
+                    for ln in links
+                ],
+                dtype=np.int64,
+            )
+            out = (x, y, chan)
+            self._legs[key] = out
+        return out
+
+
+def build_pair_block(
+    topo: Dragonfly,
+    chidx: ChannelIndex,
+    src: int,
+    dst: int,
+    tables: Optional[_TopoTables] = None,
+) -> PairBlock:
+    """Closed-form vectorized pair statistics (full enumeration).
+
+    Equivalent to :func:`~repro.model.pathstats.compute_pair_stats` with
+    ``max_descriptors=None`` on topologies with fully connected groups,
+    but never materializes a path: for each intermediate group it
+    broadcasts the six channel families of the canonical VLB path
+    (``src->x1`` local, ``x1->y1`` global, ``y1->mid`` local,
+    ``mid->x2`` local, ``x2->y2`` global, ``y2->dst`` local) over the
+    ``(mid, slot1, slot2)`` descriptor grid and aggregates with one
+    ``bincount`` keyed by ``class * n_channels + channel``.  All counts
+    are integer-exact in float64.
+    """
+    if topo.max_local_hops != 1:
+        raise ValueError(
+            "vectorized pair builder requires fully connected groups "
+            "(max_local_hops == 1); use compute_pair_stats"
+        )
+    if tables is None:
+        tables = _TopoTables(topo, chidx)
+    num_chan = len(chidx)
+
+    mins = min_paths(topo, src, dst)
+    min_usage: Dict[int, float] = {}
+    for p in mins:
+        for ch in p.channels():
+            idx = chidx.index(ch)
+            min_usage[idx] = min_usage.get(idx, 0.0) + 1.0 / len(mins)
+
+    gs, gd = topo.group_of(src), topo.group_of(dst)
+    a = topo.a
+    counts = np.zeros(NUM_CLASSES, dtype=np.float64)
+    usage = np.zeros(NUM_CLASSES * num_chan, dtype=np.float64)
+    local_idx = tables.local_idx
+    ldst = topo.local_index(dst)
+
+    for gm in range(topo.g):
+        if gm == gs or gm == gd:
+            continue
+        x1, y1, gc1 = tables.legs(gs, gm)
+        x2, y2, gc2 = tables.legs(gm, gd)
+        m1, m2 = len(x1), len(x2)
+        if m1 == 0 or m2 == 0:
+            continue
+        mid = np.arange(gm * a, (gm + 1) * a, dtype=np.int64)
+        lmid = np.arange(a, dtype=np.int64)
+        shape = (a, m1, m2)
+
+        cond1 = x1 != src  # (m1,) src -> x1 local hop exists
+        condy1 = y1[None, :] != mid[:, None]  # (a, m1) y1 -> mid
+        condx2 = mid[:, None] != x2[None, :]  # (a, m2) mid -> x2
+        cond2 = y2 != dst  # (m2,) y2 -> dst
+
+        l1 = cond1[None, :].astype(np.int64) + 1 + condy1  # (a, m1)
+        l2 = condx2.astype(np.int64) + 1 + cond2[None, :]  # (a, m2)
+        cls = (l1[:, :, None] - 1) * 3 + (l2[:, None, :] - 1)  # (a, m1, m2)
+        counts += np.bincount(cls.ravel(), minlength=NUM_CLASSES)
+
+        base = cls * num_chan
+        keys: List[np.ndarray] = []
+
+        def fam(chan: np.ndarray, mask: Optional[np.ndarray]) -> None:
+            k = base + np.broadcast_to(chan, shape)
+            if mask is None:
+                keys.append(k.ravel())
+            else:
+                keys.append(k[np.broadcast_to(mask, shape)])
+
+        loc_sx1 = local_idx[src, x1 % a]  # (m1,) valid where cond1
+        loc_y1m = local_idx[y1[None, :], lmid[:, None]]  # (a, m1)
+        loc_mx2 = local_idx[mid[:, None], x2[None, :] % a]  # (a, m2)
+        loc_y2d = local_idx[y2, ldst]  # (m2,) valid where cond2
+
+        fam(loc_sx1[None, :, None], cond1[None, :, None])
+        fam(gc1[None, :, None], None)
+        fam(loc_y1m[:, :, None], condy1[:, :, None])
+        fam(loc_mx2[:, None, :], condx2[:, None, :])
+        fam(gc2[None, None, :], None)
+        fam(loc_y2d[None, None, :], cond2[None, None, :])
+
+        usage += np.bincount(
+            np.concatenate(keys), minlength=NUM_CLASSES * num_chan
+        )
+
+    ids: List[np.ndarray] = []
+    idxs: List[np.ndarray] = []
+    vals: List[np.ndarray] = []
+    for c in range(NUM_CLASSES):
+        if counts[c] <= 0:
+            continue
+        seg = usage[c * num_chan : (c + 1) * num_chan]
+        nz = np.nonzero(seg)[0]
+        ids.append(np.full(len(nz), c, dtype=np.int8))
+        idxs.append(nz)
+        vals.append(seg[nz])
+
+    empty_i = np.empty(0, dtype=np.int64)
+    return PairBlock(
+        src=src,
+        dst=dst,
+        min_count=len(mins),
+        min_idx=np.fromiter(
+            min_usage.keys(), dtype=np.int64, count=len(min_usage)
+        ),
+        min_val=np.fromiter(
+            min_usage.values(), dtype=np.float64, count=len(min_usage)
+        ),
+        counts=counts,
+        cls_id=(
+            np.concatenate(ids) if ids else np.empty(0, dtype=np.int8)
+        ),
+        cls_idx=np.concatenate(idxs) if idxs else empty_i,
+        cls_val=(
+            np.concatenate(vals) if vals else np.empty(0, dtype=np.float64)
+        ),
+    )
+
+
+class BlockCache:
+    """Memoized :class:`PairBlock` store with symmetry folding.
+
+    ``symmetry="auto"`` verifies the topology's group rotations once and
+    computes path statistics only for one representative per rotation
+    orbit, relabeling channels for the other members; ``"off"`` computes
+    every ordered pair independently.  Folding and the vectorized builder
+    both require full enumeration, so any pair the legacy enumerator
+    would subsample (``count > max_descriptors``) falls back to
+    :func:`compute_pair_stats` with identical stride/offset semantics.
+    """
+
+    def __init__(
+        self,
+        topo: Dragonfly,
+        chidx: Optional[ChannelIndex] = None,
+        max_descriptors: Optional[int] = None,
+        seed: int = 0,
+        symmetry: str = "auto",
+    ) -> None:
+        if symmetry not in ("auto", "off"):
+            raise ValueError(f"unknown symmetry mode {symmetry!r}")
+        self.topo = topo
+        self.chidx = chidx if chidx is not None else ChannelIndex(topo)
+        self.max_descriptors = max_descriptors
+        self.seed = seed
+        self.symmetry = symmetry
+        self._blocks: Dict[Tuple[int, int], PairBlock] = {}
+        self._tables: Optional[_TopoTables] = None
+        self._rotsym: Optional[RotationSymmetry] = None
+        self._vectorized_ok = topo.max_local_hops == 1
+        # instrumentation for benchmarks and tests
+        self.built = 0
+        self.folded = 0
+
+    def _rotation(self) -> RotationSymmetry:
+        if self._rotsym is None:
+            self._rotsym = RotationSymmetry(self.topo, self.chidx)
+        return self._rotsym
+
+    def _full_enumeration(self, src: int, dst: int) -> bool:
+        if self.max_descriptors is None:
+            return True
+        return count_vlb_paths(self.topo, src, dst) <= self.max_descriptors
+
+    def _build(self, src: int, dst: int) -> PairBlock:
+        self.built += 1
+        if self._vectorized_ok and self._full_enumeration(src, dst):
+            if self._tables is None:
+                self._tables = _TopoTables(self.topo, self.chidx)
+            return build_pair_block(
+                self.topo, self.chidx, src, dst, self._tables
+            )
+        return PairBlock.from_stats(
+            compute_pair_stats(
+                self.topo,
+                self.chidx,
+                src,
+                dst,
+                max_descriptors=self.max_descriptors,
+                seed=self.seed,
+            )
+        )
+
+    def get(self, src: int, dst: int) -> PairBlock:
+        key = (src, dst)
+        block = self._blocks.get(key)
+        if block is not None:
+            return block
+        # Folding requires full enumeration: the legacy subsample offset
+        # is seeded per (seed, src, dst), so subsampled pairs are not
+        # rotation-equivariant and must be built directly.
+        if self.symmetry == "auto" and self._full_enumeration(src, dst):
+            sym = self._rotation()
+            if sym.fold_factor > 1:
+                rs, rd, t = sym.canonical_pair(src, dst)
+                if (rs, rd) != (src, dst):
+                    rep = self.get(rs, rd)
+                    block = rep.permuted(sym.channel_perm(t), src, dst)
+                    self.folded += 1
+                    self._blocks[key] = block
+                    return block
+        block = self._build(src, dst)
+        self._blocks[key] = block
+        return block
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+
+class _PatternStruct:
+    """Pattern-lifetime skeleton of the LP: everything except weights.
+
+    Streams are pair-major in the legacy solver's touch order (MIN
+    entries of a pair, then its VLB entries by ascending class), so the
+    first-touch channel-row numbering reproduces the legacy row order.
+    """
+
+    def __init__(
+        self, topo: Dragonfly, demand: np.ndarray, blocks: BlockCache
+    ) -> None:
+        self.pairs: List[Tuple[int, int, float]] = [
+            (int(s), int(d), float(demand[s, d]))
+            for s, d in zip(*np.nonzero(demand))
+            if s != d
+        ]
+        num_pairs = len(self.pairs)
+        self.num_pairs = num_pairs
+        self.counts = np.zeros((num_pairs, NUM_CLASSES), dtype=np.float64)
+
+        chan_parts: List[np.ndarray] = []
+        cls_parts: List[np.ndarray] = []
+        pair_parts: List[np.ndarray] = []
+        val_parts: List[np.ndarray] = []
+        for k, (s, d, _w) in enumerate(self.pairs):
+            blk = blocks.get(s, d)
+            self.counts[k] = blk.counts
+            chan_parts.append(blk.min_idx)
+            cls_parts.append(np.full(len(blk.min_idx), -1, dtype=np.int8))
+            pair_parts.append(np.full(len(blk.min_idx), k, dtype=np.int64))
+            val_parts.append(blk.min_val)
+            chan_parts.append(blk.cls_idx)
+            cls_parts.append(blk.cls_id)
+            pair_parts.append(np.full(len(blk.cls_idx), k, dtype=np.int64))
+            val_parts.append(blk.cls_val)
+
+        self.chan = (
+            np.concatenate(chan_parts)
+            if chan_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        self.cls = (
+            np.concatenate(cls_parts)
+            if cls_parts
+            else np.empty(0, dtype=np.int8)
+        )
+        self.pair = (
+            np.concatenate(pair_parts)
+            if pair_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        self.val = (
+            np.concatenate(val_parts)
+            if val_parts
+            else np.empty(0, dtype=np.float64)
+        )
+        self.is_min = self.cls < 0
+        # free-mode per-path coefficients are weight-independent
+        self.val_norm = self.val.copy()
+        vlb = ~self.is_min
+        self.val_norm[vlb] = self.val[vlb] / self.counts[
+            self.pair[vlb], self.cls[vlb].astype(np.int64)
+        ]
+
+        # injection/ejection rows: lambda * row_sum <= p, interleaved
+        # inj-then-ej per switch like the legacy loop
+        inj = demand.sum(axis=1)
+        ej = demand.sum(axis=0)
+        ie: List[float] = []
+        for s in range(topo.num_switches):
+            if inj[s] > 0:
+                ie.append(float(inj[s]))
+            if ej[s] > 0:
+                ie.append(float(ej[s]))
+        self.ie_vals = np.asarray(ie, dtype=np.float64)
+
+        self.num_channels = len(blocks.chidx)
+        self._rowmaps: Dict[
+            Tuple[bool, ...], Tuple[np.ndarray, np.ndarray, int]
+        ] = {}
+
+    def rowmap(
+        self, ok9: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """``(entry_mask, channel_rows, n_rows)`` for a class mask.
+
+        ``entry_mask`` selects the stream entries alive under the mask
+        (MIN always; VLB iff its class is included); ``channel_rows``
+        aligns with the selected entries and numbers channels in
+        first-touch order, exactly like the legacy lazy row assignment.
+        """
+        key = tuple(bool(b) for b in ok9)
+        cached = self._rowmaps.get(key)
+        if cached is not None:
+            return cached
+        incl = self.is_min.copy()
+        vlb = ~self.is_min
+        incl[vlb] = ok9[self.cls[vlb].astype(np.int64)]
+        chan_sel = self.chan[incl]
+        uniq, first = np.unique(chan_sel, return_index=True)
+        order = np.argsort(first, kind="stable")
+        row_of = np.full(self.num_channels, -1, dtype=np.int64)
+        row_of[uniq[order]] = np.arange(len(uniq), dtype=np.int64)
+        out = (incl, row_of[chan_sel], len(uniq))
+        self._rowmaps[key] = out
+        return out
+
+
+class FastModel:
+    """Reusable factored solver: one instance amortizes a whole sweep.
+
+    Construct once per topology; call :meth:`solve` per
+    ``(demand, policy)`` point.  Structural state (pair blocks, pattern
+    skeletons, row maps) accumulates across calls and is shared by every
+    subsequent solve.
+    """
+
+    def __init__(
+        self,
+        topo: Dragonfly,
+        chidx: Optional[ChannelIndex] = None,
+        max_descriptors: Optional[int] = None,
+        seed: int = 0,
+        symmetry: str = "auto",
+    ) -> None:
+        self.topo = topo
+        # The factored layout assumes the 3x3 dragonfly leg-split space
+        # (fully connected groups, one local hop per leg).  Topologies
+        # with longer local transit (e.g. CascadeDragonfly) have classes
+        # outside that space; for them every solve delegates to the
+        # legacy assembly over a shared PathStatsCache, so the instance
+        # still amortizes path enumeration across a sweep.
+        self._fallback: Optional[PathStatsCache] = None
+        if getattr(topo, "max_local_hops", 1) != 1:
+            self._fallback = PathStatsCache(
+                topo,
+                chidx=chidx,
+                max_descriptors=max_descriptors,
+                seed=seed,
+            )
+        else:
+            self.blocks = BlockCache(
+                topo,
+                chidx=chidx,
+                max_descriptors=max_descriptors,
+                seed=seed,
+                symmetry=symmetry,
+            )
+        self._patterns: Dict[bytes, _PatternStruct] = {}
+
+    @property
+    def chidx(self) -> ChannelIndex:
+        if self._fallback is not None:
+            return self._fallback.chidx
+        return self.blocks.chidx
+
+    def _pattern(self, demand: np.ndarray) -> _PatternStruct:
+        demand = np.asarray(demand, dtype=np.float64)
+        key = hashlib.blake2b(demand.tobytes(), digest_size=16).digest()
+        struct = self._patterns.get(key)
+        if struct is None:
+            struct = _PatternStruct(self.topo, demand, self.blocks)
+            self._patterns[key] = struct
+        return struct
+
+    def solve(
+        self,
+        demand: np.ndarray,
+        weight_fn: Optional[WeightFn] = None,
+        *,
+        policy: Optional[PathPolicy] = None,
+        mode: str = "uniform",
+        monotonic: bool = True,
+    ) -> ModelResult:
+        """Drop-in equivalent of :func:`model_throughput`."""
+        if mode not in ("uniform", "free"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if self._fallback is not None:
+            return model_throughput(
+                self.topo,
+                demand,
+                weight_fn,
+                policy=policy,
+                cache=self._fallback,
+                mode=mode,
+                monotonic=monotonic,
+            )
+        if weight_fn is None:
+            if policy is None:
+                weight_fn = lambda l1, l2: 1.0  # noqa: E731 - all VLB
+            else:
+                weight_fn = weights_for_policy(policy)
+
+        struct = self._pattern(demand)
+        num_pairs = struct.num_pairs
+        if num_pairs == 0:
+            return ModelResult(1.0, 1.0, "trivial", 0)
+
+        w9 = np.asarray(
+            [weight_fn(*_class_split(c)) for c in range(NUM_CLASSES)],
+            dtype=np.float64,
+        )
+        ok9 = w9 > 1e-9
+        w9_eff = np.where(ok9, w9, 0.0)
+        incl, ch_rows, n_ch_rows = struct.rowmap(ok9)
+
+        pair_sel = struct.pair[incl]
+        cls_sel = struct.cls[incl].astype(np.int64)
+        is_min_sel = struct.is_min[incl]
+
+        if mode == "uniform":
+            out = self._assemble_uniform(
+                struct, w9_eff, incl, pair_sel, cls_sel, is_min_sel
+            )
+        else:
+            out = self._assemble_free(
+                struct, w9_eff, ok9, incl, pair_sel, cls_sel, is_min_sel,
+                monotonic,
+            )
+        cols, vals, num_vars, mono_rows, mono_cols, mono_vals = out
+
+        # rows: channel-capacity block, then inj/ej, then monotonic
+        num_ie = len(struct.ie_vals)
+        r0 = n_ch_rows
+        rows = np.concatenate(
+            [
+                ch_rows,
+                np.arange(r0, r0 + num_ie, dtype=np.int64),
+                mono_rows + r0 + num_ie,
+            ]
+        )
+        cols = np.concatenate(
+            [cols, np.zeros(num_ie, dtype=np.int64), mono_cols]
+        )
+        vals = np.concatenate([vals, struct.ie_vals, mono_vals])
+        num_rows = r0 + num_ie + (
+            int(mono_rows.max()) + 1 if len(mono_rows) else 0
+        )
+        b_ub = np.concatenate(
+            [
+                np.ones(n_ch_rows),
+                np.full(num_ie, float(self.topo.p)),
+                np.zeros(num_rows - n_ch_rows - num_ie),
+            ]
+        )
+        a_ub = coo_matrix((vals, (rows, cols)), shape=(num_rows, num_vars))
+
+        # equality rows: x_k + sum(vlb vars of pair k) - w_k * lambda = 0
+        pair_w = np.asarray([w for _s, _d, w in struct.pairs])
+        nvars_pair = self._nvars_pair
+        e_rows = np.concatenate(
+            [
+                np.arange(num_pairs),
+                np.repeat(np.arange(num_pairs), nvars_pair),
+                np.arange(num_pairs),
+            ]
+        )
+        e_cols = np.concatenate(
+            [
+                1 + np.arange(num_pairs),
+                np.arange(1 + num_pairs, num_vars),
+                np.zeros(num_pairs, dtype=np.int64),
+            ]
+        )
+        e_vals = np.concatenate(
+            [
+                np.ones(num_pairs),
+                np.ones(num_vars - 1 - num_pairs),
+                -pair_w,
+            ]
+        )
+        a_eq = coo_matrix(
+            (e_vals, (e_rows, e_cols)), shape=(num_pairs, num_vars)
+        )
+
+        c = np.zeros(num_vars)
+        c[0] = -1.0
+        bounds = [(0.0, 1.0)] + [(0.0, None)] * (num_vars - 1)
+        res = linprog(
+            c,
+            A_ub=a_ub.tocsr(),
+            b_ub=b_ub,
+            A_eq=a_eq.tocsr(),
+            b_eq=np.zeros(num_pairs),
+            bounds=bounds,
+            method="highs",
+        )
+        if not res.success:  # pragma: no cover - defensive
+            return ModelResult(0.0, 0.0, res.message, num_pairs)
+        lam = float(res.x[0])
+        x_total = float(res.x[1 : 1 + num_pairs].sum())
+        served = float(lam * pair_w.sum())
+        min_frac = x_total / served if served > 0 else 1.0
+        return ModelResult(lam, min_frac, "optimal", num_pairs)
+
+    # ------------------------------------------------------------------
+    def _assemble_uniform(
+        self,
+        struct: _PatternStruct,
+        w9_eff: np.ndarray,
+        incl: np.ndarray,
+        pair_sel: np.ndarray,
+        cls_sel: np.ndarray,
+        is_min_sel: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, int, np.ndarray, np.ndarray, np.ndarray]:
+        """One aggregate VLB variable per pair with nonempty weighted set."""
+        num_pairs = struct.num_pairs
+        wtotal = struct.counts @ w9_eff  # (K,)
+        has_vlb = wtotal > 1e-9
+        vlb_var = 1 + num_pairs + np.cumsum(has_vlb) - 1  # valid where has_vlb
+        num_vars = 1 + num_pairs + int(has_vlb.sum())
+        self._nvars_pair = has_vlb.astype(np.int64)
+
+        cols = np.where(
+            is_min_sel, 1 + pair_sel, vlb_var[pair_sel]
+        )
+        safe_total = np.where(has_vlb, wtotal, 1.0)
+        vals = np.where(
+            is_min_sel,
+            struct.val[incl],
+            w9_eff[cls_sel] * struct.val[incl] / safe_total[pair_sel],
+        )
+        empty_i = np.empty(0, dtype=np.int64)
+        return cols, vals, num_vars, empty_i, empty_i, np.empty(0)
+
+    def _assemble_free(
+        self,
+        struct: _PatternStruct,
+        w9_eff: np.ndarray,
+        ok9: np.ndarray,
+        incl: np.ndarray,
+        pair_sel: np.ndarray,
+        cls_sel: np.ndarray,
+        is_min_sel: np.ndarray,
+        monotonic: bool,
+    ) -> Tuple[np.ndarray, np.ndarray, int, np.ndarray, np.ndarray, np.ndarray]:
+        """One variable per (pair, included leg-split class)."""
+        num_pairs = struct.num_pairs
+        incl_mat = ok9[None, :] & (struct.counts > 0)  # (K, 9)
+        nvars_pair = incl_mat.sum(axis=1).astype(np.int64)
+        var_base = 1 + num_pairs + np.concatenate(
+            [[0], np.cumsum(nvars_pair)[:-1]]
+        ).astype(np.int64)
+        rank = np.cumsum(incl_mat, axis=1) - 1
+        var_of = var_base[:, None] + rank  # valid where incl_mat
+        num_vars = 1 + num_pairs + int(nvars_pair.sum())
+        self._nvars_pair = nvars_pair
+
+        cols = np.where(
+            is_min_sel, 1 + pair_sel, var_of[pair_sel, cls_sel]
+        )
+        vals = np.where(is_min_sel, struct.val[incl], struct.val_norm[incl])
+
+        mono_rows: List[int] = []
+        mono_cols: List[int] = []
+        mono_vals: List[float] = []
+        if monotonic:
+            class_size = w9_eff[None, :] * struct.counts  # (K, 9)
+            row = 0
+            for k in range(num_pairs):
+                classes = np.nonzero(incl_mat[k])[0]
+                if len(classes) < 2:
+                    continue
+                hops = CLASS_HOPS[classes]
+                levels = np.unique(hops)
+                for lo, hi in zip(levels, levels[1:]):
+                    for c_long in classes[hops == hi]:
+                        for c_short in classes[hops == lo]:
+                            mono_rows.extend((row, row))
+                            mono_cols.append(int(var_of[k, c_long]))
+                            mono_cols.append(int(var_of[k, c_short]))
+                            mono_vals.append(
+                                1.0 / float(class_size[k, c_long])
+                            )
+                            mono_vals.append(
+                                -1.0 / float(class_size[k, c_short])
+                            )
+                            row += 1
+        return (
+            cols,
+            vals,
+            num_vars,
+            np.asarray(mono_rows, dtype=np.int64),
+            np.asarray(mono_cols, dtype=np.int64),
+            np.asarray(mono_vals, dtype=np.float64),
+        )
+
+
+def fast_model_throughput(
+    topo: Dragonfly,
+    demand: np.ndarray,
+    weight_fn: Optional[WeightFn] = None,
+    *,
+    policy: Optional[PathPolicy] = None,
+    model: Optional[FastModel] = None,
+    mode: str = "uniform",
+    monotonic: bool = True,
+    max_descriptors: Optional[int] = None,
+) -> ModelResult:
+    """One-shot convenience mirroring :func:`model_throughput`.
+
+    Pass (and reuse) a :class:`FastModel` to amortize structural work
+    across calls; without one, a fresh model is built per call and only
+    the vectorized enumeration is faster than legacy.
+    """
+    if model is None:
+        model = FastModel(topo, max_descriptors=max_descriptors)
+    return model.solve(
+        demand, weight_fn, policy=policy, mode=mode, monotonic=monotonic
+    )

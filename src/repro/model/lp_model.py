@@ -34,6 +34,7 @@ from scipy.optimize import linprog
 from scipy.sparse import coo_matrix
 
 from repro.model.pathstats import PathStatsCache
+from repro.routing.pathset import PathPolicy
 from repro.topology.dragonfly import Dragonfly
 
 __all__ = ["ModelResult", "model_throughput", "weights_for_policy"]
@@ -57,19 +58,35 @@ class ModelResult:
         )
 
 
-def weights_for_policy(policy) -> WeightFn:
+def weights_for_policy(policy: "PathPolicy") -> WeightFn:
     """Translate a supported PathPolicy into leg-split class weights.
 
     Supported: AllVlbPolicy, HopClassPolicy, StrategicFiveHopPolicy.  The
     q%-subset of a HopClassPolicy is represented by its expectation
     (fraction q of the class's paths and usage), which is exact in
     expectation over the deterministic hash.
+
+    Policies whose selection is *finer* than leg-split classes --
+    ``ExcludingPolicy`` (drops individual channels/descriptors) and
+    ``ExplicitPathSet`` (an arbitrary path list) -- cannot be expressed
+    as class weights at all; they raise ``ValueError`` so callers never
+    silently model the wrong candidate set.  Unknown policy types raise
+    ``TypeError`` as before.
     """
     from repro.routing.pathset import (
         AllVlbPolicy,
+        ExcludingPolicy,
+        ExplicitPathSet,
         HopClassPolicy,
         StrategicFiveHopPolicy,
     )
+
+    if isinstance(policy, (ExcludingPolicy, ExplicitPathSet)):
+        raise ValueError(
+            f"{type(policy).__name__} selects paths below the leg-split "
+            f"class granularity and has no class-weight representation; "
+            f"evaluate it with the simulator instead"
+        )
 
     if isinstance(policy, AllVlbPolicy):
         return lambda l1, l2: 1.0
@@ -105,7 +122,7 @@ def model_throughput(
     demand: np.ndarray,
     weight_fn: Optional[WeightFn] = None,
     *,
-    policy=None,
+    policy: Optional[PathPolicy] = None,
     cache: Optional[PathStatsCache] = None,
     mode: str = "uniform",
     monotonic: bool = True,

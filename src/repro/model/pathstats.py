@@ -16,12 +16,13 @@ correctness of the LP structure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.routing.channels import ChannelIndex
 from repro.routing.minimal import min_paths
+from repro.routing.paths import Path
 from repro.routing.vlb import (
     count_vlb_paths,
     enumerate_vlb_descriptors,
@@ -41,7 +42,7 @@ class ClassStats:
     count: int = 0
     usage: Dict[int, float] = field(default_factory=dict)  # channel idx -> uses
 
-    def add_path(self, chidx: ChannelIndex, path) -> None:
+    def add_path(self, chidx: ChannelIndex, path: Path) -> None:
         self.count += 1
         for ch in path.channels():
             idx = chidx.index(ch)
@@ -67,7 +68,7 @@ class PairPathStats:
         return {split: cs.count for split, cs in self.classes.items()}
 
     def weighted_vlb_usage(
-        self, weight_fn
+        self, weight_fn: Callable[[int, int], float]
     ) -> Tuple[float, Dict[int, float]]:
         """Expected per-packet channel usage of a weighted VLB candidate set.
 

@@ -3,12 +3,21 @@
 For every datapoint the LP model is solved for every pattern in the
 adversarial suite and the mean (with standard error) is recorded -- the
 data behind Figures 4 and 5 of the paper.
+
+Two solver engines are available: ``engine="fast"`` (default) routes
+every ``(datapoint, pattern)`` combination through
+:class:`~repro.perf.executor.SweepExecutor` as spec-fingerprinted
+:class:`~repro.perf.executor.ModelTask` batches -- structural work is
+factored and amortized by :class:`~repro.model.fastpath.FastModel`, and
+an executor-attached :class:`~repro.perf.cache.SimCache` serves repeated
+points from disk.  ``engine="legacy"`` is the original per-solve
+assembly loop, kept as the numerical parity baseline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
@@ -17,6 +26,9 @@ from repro.model.pathstats import PathStatsCache
 from repro.routing.pathset import HopClassPolicy
 from repro.topology.dragonfly import Dragonfly
 from repro.traffic.patterns import TrafficPattern
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.perf.executor import SweepExecutor
 
 __all__ = ["SweepPoint", "step1_sweep", "best_point", "candidate_vicinity"]
 
@@ -40,35 +52,108 @@ def step1_sweep(
     cache: Optional[PathStatsCache] = None,
     max_descriptors: Optional[int] = None,
     mode: str = "uniform",
+    engine: str = "fast",
+    executor: Optional["SweepExecutor"] = None,
+    seed: int = 0,
 ) -> List[SweepPoint]:
-    """Model every (datapoint, pattern) combination; one row per datapoint."""
-    if cache is None:
-        cache = PathStatsCache(topo, max_descriptors=max_descriptors)
-    demands = [pat.demand_matrix() for pat in patterns]
+    """Model every (datapoint, pattern) combination; one row per datapoint.
+
+    ``executor`` (optional) fans the solves out across worker processes
+    and consults its attached result cache; without one, solves run
+    serially in-process but still share per-topology structural state.
+    ``cache`` is only consulted by the legacy engine (it predates the
+    factored fast path, whose structural state lives in the executor's
+    per-process solver memo); ``seed`` steers descriptor subsampling
+    when ``max_descriptors`` caps enumeration.
+    """
+    if engine not in ("fast", "legacy"):
+        raise ValueError(f"unknown sweep engine {engine!r}")
+    if engine == "legacy" and executor is None:
+        return _legacy_sweep(
+            topo,
+            patterns,
+            datapoints,
+            cache=cache,
+            max_descriptors=max_descriptors,
+            mode=mode,
+            seed=seed,
+        )
+
+    from repro.perf.executor import ModelTask, run_model_task
+
+    tasks = [
+        ModelTask(
+            topo=topo,
+            pattern=pattern,
+            policy=policy,
+            mode=mode,
+            max_descriptors=max_descriptors,
+            seed=seed,
+            engine=engine,
+        )
+        for policy in datapoints
+        for pattern in patterns
+    ]
+    if executor is not None:
+        results = executor.run_models(tasks)
+    else:
+        results = [run_model_task(t) for t in tasks]
+
     points: List[SweepPoint] = []
-    for policy in datapoints:
+    num_patterns = len(patterns)
+    for i, policy in enumerate(datapoints):
         values = [
-            model_throughput(
-                topo, demand, policy=policy, cache=cache, mode=mode
-            ).throughput
-            for demand in demands
+            r.throughput
+            for r in results[i * num_patterns : (i + 1) * num_patterns]
         ]
-        arr = np.asarray(values)
-        sem = (
-            float(arr.std(ddof=1) / np.sqrt(len(arr)))
-            if len(arr) > 1
-            else 0.0
-        )
-        points.append(
-            SweepPoint(
-                policy=policy,
-                label=policy.describe(),
-                mean_throughput=float(arr.mean()),
-                sem=sem,
-                per_pattern=values,
-            )
-        )
+        points.append(_make_point(policy, values))
     return points
+
+
+def _legacy_sweep(
+    topo: Dragonfly,
+    patterns: Sequence[TrafficPattern],
+    datapoints: Sequence[HopClassPolicy],
+    *,
+    cache: Optional[PathStatsCache],
+    max_descriptors: Optional[int],
+    mode: str,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """The original per-solve loop (parity baseline for the fast path)."""
+    if cache is None:
+        cache = PathStatsCache(
+            topo, max_descriptors=max_descriptors, seed=seed
+        )
+    demands = [pat.demand_matrix() for pat in patterns]
+    return [
+        _make_point(
+            policy,
+            [
+                model_throughput(
+                    topo, demand, policy=policy, cache=cache, mode=mode
+                ).throughput
+                for demand in demands
+            ],
+        )
+        for policy in datapoints
+    ]
+
+
+def _make_point(
+    policy: HopClassPolicy, values: List[float]
+) -> SweepPoint:
+    arr = np.asarray(values)
+    sem = (
+        float(arr.std(ddof=1) / np.sqrt(len(arr))) if len(arr) > 1 else 0.0
+    )
+    return SweepPoint(
+        policy=policy,
+        label=policy.describe(),
+        mean_throughput=float(arr.mean()),
+        sem=sem,
+        per_pattern=values,
+    )
 
 
 def best_point(points: Sequence[SweepPoint]) -> SweepPoint:

@@ -1,0 +1,154 @@
+"""Verified rotation symmetry of dragonfly topologies.
+
+Path statistics of an ordered switch pair are equivariant under any
+topology automorphism: if ``sigma`` maps switches to switches and (global)
+links to links, then the VLB descriptor set of ``(s, d)`` maps bijectively
+onto that of ``(sigma(s), sigma(d))``, leg-split classes are preserved
+(``sigma`` preserves intra-group distances), and per-channel usage counts
+transfer through the induced channel permutation.  Pair stats therefore
+only need to be *computed* once per orbit and can be *relabeled* onto
+every other pair of the orbit -- the symmetry fold used by
+:class:`repro.model.fastpath.FastModel` and, optionally, by
+:class:`repro.model.pathstats.PathStatsCache`.
+
+This module handles the cheap-to-verify family of candidate
+automorphisms: **group rotations** ``sigma_t``, which add ``t`` to the
+group id (mod ``g``) while keeping the local switch index.  A rotation is
+accepted only after an explicit O(links) check that every global link
+maps onto an existing global link; arrangements built by absolute group
+id (the paper's ``absolute``) typically reject every nontrivial rotation,
+while offset-based arrangements (``relative``, ``circulant``) accept all
+of them.  Rejected rotations simply mean no folding -- results are never
+affected, only the amount of shared work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.routing.channels import ChannelIndex
+from repro.routing.paths import Channel
+from repro.topology.dragonfly import Dragonfly
+
+__all__ = ["RotationSymmetry"]
+
+
+class RotationSymmetry:
+    """The verified group-rotation subgroup of a topology's automorphisms.
+
+    ``rotations`` lists the accepted offsets ``t`` (``0`` is always
+    present); ``channel_perm(t)`` gives the induced permutation of
+    :class:`ChannelIndex` indices as an int array ``perm`` with
+    ``perm[idx_of(ch)] == idx_of(sigma_t(ch))``.
+    """
+
+    def __init__(self, topo: Dragonfly, chidx: ChannelIndex) -> None:
+        self.topo = topo
+        self.chidx = chidx
+        self._perms: Dict[int, np.ndarray] = {}
+        self.rotations: List[int] = [0]
+        for t in range(1, topo.g):
+            perm = self._try_rotation(t)
+            if perm is not None:
+                self.rotations.append(t)
+                self._perms[t] = perm
+
+    # ------------------------------------------------------------------
+    def rotate_switch(self, switch: int, t: int) -> int:
+        """``sigma_t``: same local index, group shifted by ``t`` (mod g)."""
+        topo = self.topo
+        group = (topo.group_of(switch) + t) % topo.g
+        return topo.switch_id(group, topo.local_index(switch))
+
+    def _try_rotation(self, t: int) -> Optional[np.ndarray]:
+        """The channel permutation of ``sigma_t``, or ``None`` (rejected).
+
+        A rotation is an automorphism iff every global link maps onto a
+        global link between the rotated groups with the rotated endpoint
+        switches.  Parallel links sharing both endpoints are matched in
+        slot order (any endpoint-preserving matching induces the same
+        path statistics, since descriptors enumerate all slots).
+        """
+        topo, chidx = self.topo, self.chidx
+        # match links by (rotated endpoint set) -> target links in slot order
+        link_map: Dict[Tuple[int, int, int], Tuple[int, int, int]] = {}
+        by_endpoints: Dict[Tuple[int, int], List] = {}
+        for link in topo.global_links:
+            lo, hi = sorted((link.switch_a, link.switch_b))
+            by_endpoints.setdefault((lo, hi), []).append(link)
+        for (lo, hi), links in by_endpoints.items():
+            rlo, rhi = sorted(
+                (self.rotate_switch(lo, t), self.rotate_switch(hi, t))
+            )
+            ga, gb = topo.group_of(rlo), topo.group_of(rhi)
+            if ga == gb:
+                return None
+            targets = [
+                ln
+                for ln in topo.links_between_groups(ga, gb)
+                if sorted((ln.switch_a, ln.switch_b)) == [rlo, rhi]
+            ]
+            if len(targets) != len(links):
+                return None
+            for link, target in zip(links, targets):
+                # record both directions of the channel mapping
+                link_map[(link.switch_a, link.switch_b, link.slot)] = (
+                    self.rotate_switch(link.switch_a, t),
+                    self.rotate_switch(link.switch_b, t),
+                    target.slot,
+                )
+                link_map[(link.switch_b, link.switch_a, link.slot)] = (
+                    self.rotate_switch(link.switch_b, t),
+                    self.rotate_switch(link.switch_a, t),
+                    target.slot,
+                )
+
+        perm = np.empty(len(chidx), dtype=np.int64)
+        for idx in range(len(chidx)):
+            ch = chidx.channel(idx)
+            if ch.is_global:
+                src, dst, slot = link_map[(ch.src, ch.dst, ch.slot)]
+                mapped = Channel(src, dst, slot)
+            else:
+                mapped = Channel(
+                    self.rotate_switch(ch.src, t),
+                    self.rotate_switch(ch.dst, t),
+                )
+            perm[idx] = chidx.index(mapped)
+        return perm
+
+    # ------------------------------------------------------------------
+    @property
+    def fold_factor(self) -> int:
+        """How many ordered pairs share one representative (>= 1)."""
+        return len(self.rotations)
+
+    def channel_perm(self, t: int) -> np.ndarray:
+        """Channel-index permutation of the accepted rotation ``t``."""
+        if t == 0:
+            return np.arange(len(self.chidx), dtype=np.int64)
+        return self._perms[t]
+
+    def canonical_pair(self, src: int, dst: int) -> Tuple[int, int, int]:
+        """``(rep_src, rep_dst, t)`` with ``sigma_t(rep) == (src, dst)``.
+
+        The representative is the lexicographically smallest rotation of
+        the pair over the verified subgroup; pairs sharing a
+        representative share (relabeled) path statistics.
+        """
+        best = (src, dst)
+        best_t = 0
+        for t in self.rotations:
+            if t == 0:
+                continue
+            back = self.topo.g - t  # sigma_t inverse = sigma_{g-t}
+            cand = (
+                self.rotate_switch(src, back),
+                self.rotate_switch(dst, back),
+            )
+            if cand < best:
+                best = cand
+                best_t = t
+        return best[0], best[1], best_t

@@ -9,15 +9,30 @@
   ``python -m repro bench`` and ``BENCH_sim.json``.
 """
 
-from repro.perf.cache import CACHE_VERSION, SimCache, default_cache_dir
-from repro.perf.executor import SimTask, SweepExecutor, default_jobs, run_task
+from repro.perf.cache import (
+    CACHE_VERSION,
+    SimCache,
+    default_cache_dir,
+    model_fingerprint,
+)
+from repro.perf.executor import (
+    ModelTask,
+    SimTask,
+    SweepExecutor,
+    default_jobs,
+    run_model_task,
+    run_task,
+)
 
 __all__ = [
     "CACHE_VERSION",
+    "ModelTask",
     "SimCache",
     "SimTask",
     "SweepExecutor",
     "default_cache_dir",
     "default_jobs",
+    "model_fingerprint",
+    "run_model_task",
     "run_task",
 ]

@@ -13,6 +13,11 @@ Two benchmark families:
 * **Sweep wall-clock** -- an N-point latency-vs-load ladder executed
   serially, through a process pool (``--jobs``), and through a warm
   on-disk cache, asserting that all three return identical results.
+* **Model microbenchmark** -- a Step-1 LP sweep (Table-1 datapoints x
+  the adversarial pattern suite) solved by the legacy per-solve
+  assembly and by the factored fast path
+  (:class:`~repro.model.fastpath.FastModel`), cold and warm, asserting
+  per-datapoint throughputs agree to 1e-9.
 
 ``python -m repro bench`` (or ``python -m repro.perf.bench``) writes the
 JSON trajectory record; see ``docs/performance.md`` for how to read it.
@@ -43,6 +48,7 @@ __all__ = [
     "LegacyRouter",
     "LegacySimChannel",
     "bench_engine",
+    "bench_model",
     "bench_sweep",
     "legacy_engine",
     "main",
@@ -359,7 +365,7 @@ def bench_sweep(
     window_cycles: int = 300,
     routing: str = "ugal-l",
     seed: int = 0,
-    jobs: int = 8,
+    jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
 ) -> Dict:
     """Wall-clock of an N-point load ladder: serial vs pool vs warm cache.
@@ -370,6 +376,10 @@ def bench_sweep(
     topo = topo if topo is not None else Dragonfly(4, 8, 4, 9)
     params = SimParams(window_cycles=window_cycles)
     pattern = UniformRandom(topo)
+    if jobs is None:
+        # oversubscribing a CPU-bound pool slows the sweep down (the old
+        # jobs=8 default measured parallel_speedup 0.72 on a 1-CPU host)
+        jobs = os.cpu_count() or 1
     if loads is None:
         loads = [0.05 + 0.05 * i for i in range(8)]
     kwargs = dict(
@@ -420,27 +430,152 @@ def bench_sweep(
     }
 
 
+def bench_model(
+    topo: Optional[Dragonfly] = None,
+    *,
+    num_datapoints: int = 6,
+    num_patterns: int = 10,
+    mode: str = "free",
+    seed: int = 0,
+    cache_dir: Optional[str] = None,
+) -> Dict:
+    """Step-1 LP sweep wall-clock: legacy assembly vs the fast path.
+
+    The workload is ``num_datapoints`` Table-1 policies x
+    ``num_patterns`` adversarial patterns (a TYPE_1 subsample plus
+    TYPE_2 permutations), solved in ``mode`` -- ``"free"`` is what
+    Algorithm 1's Step 1 uses and is the more expensive assembly.
+
+    Three timed executions:
+
+    * ``legacy`` -- the original per-solve constraint assembly
+      (``engine="legacy"``), one full enumeration + COO build per
+      ``(policy, pattern)``.
+    * ``fast cold`` -- the factored pipeline from an empty process
+      (structural factorization built once, then patched per solve).
+    * ``fast warm`` -- same workload again with the per-process solver
+      memo already populated, isolating the per-solve patch cost.
+
+    With ``cache_dir`` a fourth execution times the sweep served
+    entirely from the on-disk ``ModelResult`` cache.  All executions
+    must agree per ``(datapoint, pattern)`` throughput to 1e-9
+    (``identical_results``); the record carries the observed worst
+    delta.
+    """
+    import numpy as np
+
+    from repro.core.datapoints import table1_datapoints
+    from repro.model.sweep import step1_sweep
+    from repro.perf import executor as executor_module
+    from repro.traffic.adversarial import type_1_set, type_2_set
+
+    topo = topo if topo is not None else Dragonfly(4, 8, 4, 9)
+
+    grid = table1_datapoints(step=0.25, seed=seed)[:num_datapoints]
+    num_t2 = min(3, num_patterns)
+    t1 = type_1_set(topo)
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(
+        len(t1), size=min(num_patterns - num_t2, len(t1)), replace=False
+    )
+    patterns = [t1[i] for i in sorted(idx)] + type_2_set(
+        topo, count=num_t2, seed=seed
+    )
+
+    start = time.perf_counter()
+    legacy = step1_sweep(
+        topo, patterns, grid, mode=mode, engine="legacy", seed=seed
+    )
+    legacy_s = time.perf_counter() - start
+
+    executor_module._SOLVER_MEMO.clear()  # a truly cold fast-path run
+    start = time.perf_counter()
+    fast = step1_sweep(
+        topo, patterns, grid, mode=mode, engine="fast", seed=seed
+    )
+    fast_cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()  # memo now holds the factorization
+    warm = step1_sweep(
+        topo, patterns, grid, mode=mode, engine="fast", seed=seed
+    )
+    fast_warm_s = time.perf_counter() - start
+
+    cached_s = None
+    if cache_dir is not None:
+        cache = SimCache(cache_dir)
+        with SweepExecutor(jobs=1, cache=cache) as executor:
+            # first pass fills the cache, second pass times the hits
+            step1_sweep(
+                topo, patterns, grid, mode=mode, engine="fast",
+                executor=executor, seed=seed,
+            )
+            start = time.perf_counter()
+            cached = step1_sweep(
+                topo, patterns, grid, mode=mode, engine="fast",
+                executor=executor, seed=seed,
+            )
+            cached_s = time.perf_counter() - start
+        for pt, ref in zip(cached, legacy):
+            assert np.allclose(
+                pt.per_pattern, ref.per_pattern, rtol=0, atol=1e-9
+            ), "cache changed sweep results"
+
+    max_delta = max(
+        abs(a - b)
+        for f, l in zip(fast, legacy)
+        for a, b in zip(f.per_pattern, l.per_pattern)
+    )
+    warm_delta = max(
+        abs(a - b)
+        for w, l in zip(warm, legacy)
+        for a, b in zip(w.per_pattern, l.per_pattern)
+    )
+    return {
+        "topology": str(topo),
+        "mode": mode,
+        "num_datapoints": len(grid),
+        "num_patterns": len(patterns),
+        "solves": len(grid) * len(patterns),
+        "legacy_seconds": legacy_s,
+        "fast_cold_seconds": fast_cold_s,
+        "fast_warm_seconds": fast_warm_s,
+        "speedup": legacy_s / fast_cold_s if fast_cold_s else None,
+        "warm_speedup": legacy_s / fast_warm_s if fast_warm_s else None,
+        "cached_seconds": cached_s,
+        "cached_speedup": (legacy_s / cached_s) if cached_s else None,
+        "max_abs_delta": max(max_delta, warm_delta),
+        "identical_results": bool(
+            max_delta <= 1e-9 and warm_delta <= 1e-9
+        ),
+    }
+
+
 def run_benchmarks(
     *,
     topology: str = "4,8,4,9",
     window_cycles: int = 300,
     engine_window: int = 600,
-    jobs: int = 8,
+    jobs: Optional[int] = None,
     sweep_points: int = 8,
+    model_datapoints: int = 6,
+    model_patterns: int = 10,
     cache_dir: Optional[str] = None,
     quick: bool = False,
 ) -> Dict:
-    """Run both benchmark families and return the trajectory record."""
+    """Run all three benchmark families and return the trajectory record."""
     p, a, h, g = (int(x) for x in topology.split(","))
     topo = Dragonfly(p, a, h, g)
     if quick:
         window_cycles = min(window_cycles, 150)
         engine_window = min(engine_window, 150)
         sweep_points = min(sweep_points, 4)
+        model_datapoints = min(model_datapoints, 3)
+        model_patterns = min(model_patterns, 4)
     loads = [0.05 + 0.05 * i for i in range(sweep_points)]
     record = {
         "bench": "repro.perf",
-        "version": 1,
+        "version": 2,
         "python": platform.python_version(),
         "cpus": os.cpu_count() or 1,
         "engine_microbench": bench_engine(
@@ -453,6 +588,12 @@ def run_benchmarks(
             loads=loads,
             window_cycles=window_cycles,
             jobs=jobs,
+            cache_dir=cache_dir,
+        ),
+        "model_microbench": bench_model(
+            topo,
+            num_datapoints=model_datapoints,
+            num_patterns=model_patterns,
             cache_dir=cache_dir,
         ),
     }
@@ -471,8 +612,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="sweep measurement window cycles (default 300)")
     parser.add_argument("--engine-window", type=int, default=600,
                         help="engine microbench window cycles (default 600)")
-    parser.add_argument("--jobs", type=int, default=8,
-                        help="worker processes for the sweep bench")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the sweep bench "
+                             "(default: the host's CPU count)")
     parser.add_argument("--points", type=int, default=8,
                         help="loads in the sweep ladder (default 8)")
     parser.add_argument("--cache-dir", default=None,
@@ -507,6 +649,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if swp["cached_seconds"] is not None:
         print(f"  warm cache: {swp['cached_seconds']:.3f}s "
               f"({swp['cached_speedup']:.0f}x)")
+    mdl = record["model_microbench"]
+    print(f"model ({mdl['num_datapoints']} datapoints x "
+          f"{mdl['num_patterns']} patterns, mode={mdl['mode']}): "
+          f"legacy {mdl['legacy_seconds']:.2f}s, "
+          f"fast {mdl['fast_cold_seconds']:.2f}s cold / "
+          f"{mdl['fast_warm_seconds']:.2f}s warm "
+          f"({mdl['speedup']:.1f}x / {mdl['warm_speedup']:.1f}x, "
+          f"identical={mdl['identical_results']})")
+    if mdl["cached_seconds"] is not None:
+        print(f"  warm cache: {mdl['cached_seconds']:.3f}s "
+              f"({mdl['cached_speedup']:.0f}x)")
     print(f"[saved {args.out}]")
     return 0
 

@@ -39,7 +39,11 @@ import json
 import os
 import shutil
 import tempfile
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.model.lp_model import ModelResult
+    from repro.spec.specs import ModelSpec
 
 from repro.routing.pathset import PathPolicy
 from repro.routing.serialization import policy_to_dict
@@ -61,6 +65,9 @@ __all__ = [
     "SimCache",
     "default_cache_dir",
     "fingerprint",
+    "model_fingerprint",
+    "model_result_from_dict",
+    "model_result_to_dict",
     "pattern_fingerprint",
     "policy_fingerprint",
     "result_from_dict",
@@ -72,7 +79,9 @@ __all__ = [
 # SimResult fields, default parameter meanings) or when the key scheme
 # changes: old entries are then ignored wholesale because they live under
 # a different v<N>/ directory.  v2: keys are RunSpec fingerprints.
-CACHE_VERSION = 2
+# v3: records carry a "kind" discriminator (sim | model) and the cache
+# also stores LP ModelResults keyed by ModelSpec fingerprints.
+CACHE_VERSION = 3
 
 
 def default_cache_dir() -> str:
@@ -213,8 +222,27 @@ def fingerprint(
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def model_fingerprint(spec: "ModelSpec") -> str:
+    """SHA-256 key of one LP-model solve, from its declarative spec.
+
+    Model keys are versioned like sim keys but carry the ``model`` kind
+    in the hash input, so a model key can never collide with a sim key
+    even for pathologically similar specs.
+    """
+    blob = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "kind": "model",
+            "spec": spec.fingerprint(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
 # ---------------------------------------------------------------------------
-# SimResult (de)serialization
+# SimResult / ModelResult (de)serialization
 # ---------------------------------------------------------------------------
 def result_to_dict(result: SimResult) -> Dict:
     return dataclasses.asdict(result)
@@ -224,11 +252,29 @@ def result_from_dict(data: Dict) -> SimResult:
     return SimResult(**data)
 
 
+def model_result_to_dict(result: "ModelResult") -> Dict:
+    return dataclasses.asdict(result)
+
+
+def model_result_from_dict(data: Dict) -> "ModelResult":
+    from repro.model.lp_model import ModelResult
+
+    return ModelResult(**data)
+
+
 # ---------------------------------------------------------------------------
 # The cache
 # ---------------------------------------------------------------------------
 class SimCache:
-    """On-disk result store addressed by :func:`fingerprint` keys."""
+    """On-disk result store addressed by :func:`fingerprint` keys.
+
+    Stores two record kinds under one versioned root: simulation results
+    (:meth:`get`/:meth:`put`) and LP-model results
+    (:meth:`get_model`/:meth:`put_model`, keyed by
+    :func:`model_fingerprint`).  A record's ``kind`` field is checked on
+    read, so a key collision across kinds -- already excluded by the
+    hash inputs -- could never deserialize the wrong type.
+    """
 
     def __init__(self, root: Optional[str] = None) -> None:
         self.root = root if root is not None else default_cache_dir()
@@ -239,30 +285,26 @@ class SimCache:
     def path_for(self, key: str) -> str:
         return os.path.join(self.dir, key[:2], f"{key}.json")
 
-    def get(self, key: str) -> Optional[SimResult]:
-        """The cached result for ``key``, or ``None`` on a miss."""
+    def _load(self, key: str, kind: str) -> Optional[Dict]:
         try:
             with open(self.path_for(key)) as fh:
                 data = json.load(fh)
         except (OSError, ValueError):
-            self.misses += 1
             return None
         if data.get("version") != CACHE_VERSION:
-            self.misses += 1
             return None
-        try:
-            result = result_from_dict(data["result"])
-        except (KeyError, TypeError):
-            self.misses += 1
+        if data.get("kind", "sim") != kind:
             return None
-        self.hits += 1
-        return result
+        return data
 
-    def put(self, key: str, result: SimResult) -> None:
-        """Atomically store a result (concurrent writers are safe)."""
+    def _store(self, key: str, kind: str, result_data: Dict) -> None:
         path = self.path_for(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        payload = {"version": CACHE_VERSION, "result": result_to_dict(result)}
+        payload = {
+            "version": CACHE_VERSION,
+            "kind": kind,
+            "result": result_data,
+        }
         fd, tmp = tempfile.mkstemp(
             dir=os.path.dirname(path), suffix=".tmp"
         )
@@ -276,6 +318,42 @@ class SimCache:
             except OSError:
                 pass
             raise
+
+    def get(self, key: str) -> Optional[SimResult]:
+        """The cached sim result for ``key``, or ``None`` on a miss."""
+        data = self._load(key, "sim")
+        if data is None:
+            self.misses += 1
+            return None
+        try:
+            result = result_from_dict(data["result"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimResult) -> None:
+        """Atomically store a sim result (concurrent writers are safe)."""
+        self._store(key, "sim", result_to_dict(result))
+
+    def get_model(self, key: str) -> Optional["ModelResult"]:
+        """The cached model result for ``key``, or ``None`` on a miss."""
+        data = self._load(key, "model")
+        if data is None:
+            self.misses += 1
+            return None
+        try:
+            result = model_result_from_dict(data["result"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put_model(self, key: str, result: "ModelResult") -> None:
+        """Atomically store an LP model result."""
+        self._store(key, "model", model_result_to_dict(result))
 
     def __len__(self) -> int:
         count = 0

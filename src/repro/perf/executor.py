@@ -29,28 +29,45 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.perf.cache import SimCache, fingerprint
+from repro.model.lp_model import ModelResult
+from repro.perf.cache import SimCache, fingerprint, model_fingerprint
 from repro.routing.pathset import PathPolicy
 from repro.sim.engine import simulate
 from repro.sim.params import SimParams
 from repro.sim.stats import SimResult
-from repro.spec import RunSpec, SpecError
+from repro.spec import ModelSpec, RunSpec, SpecError
 from repro.topology.dragonfly import Dragonfly
 from repro.traffic.patterns import TrafficPattern
 
-__all__ = ["SimTask", "SweepExecutor", "default_jobs", "run_task"]
+__all__ = [
+    "ModelTask",
+    "SimTask",
+    "SweepExecutor",
+    "default_jobs",
+    "run_model_task",
+    "run_task",
+]
 
 
 def default_jobs() -> int:
-    """``$REPRO_JOBS`` if set, else 1 (opt-in parallelism)."""
+    """``$REPRO_JOBS`` if set (clamped to the CPU count), else 1.
+
+    Oversubscribing a small host is strictly counterproductive for these
+    CPU-bound workers (BENCH_sim.json once recorded a 0.72x "speedup"
+    from jobs=8 on a 1-CPU host), so the environment default can never
+    exceed ``os.cpu_count()``.  An explicit ``jobs=`` argument may still
+    force a larger pool, with a warning.
+    """
+    cap = os.cpu_count() or 1
     env = os.environ.get("REPRO_JOBS")
     if env:
         try:
-            return max(1, int(env))
+            return min(cap, max(1, int(env)))
         except ValueError:
             pass
     return 1
@@ -127,6 +144,145 @@ def _run_payload(payload: Union[RunSpec, SimTask]) -> SimResult:
     return run_task(payload)
 
 
+@dataclass
+class ModelTask:
+    """One independent LP-model solve (picklable).
+
+    The model analogue of :class:`SimTask`: on construction the task
+    derives its :class:`ModelSpec` (``None`` when a component is not a
+    registered spec type); the spec is the cross-process payload and the
+    model-cache key material.
+    """
+
+    topo: Dragonfly
+    pattern: TrafficPattern
+    policy: PathPolicy
+    mode: str = "uniform"
+    monotonic: bool = True
+    max_descriptors: Optional[int] = None
+    seed: int = 0
+    engine: str = "fast"
+    spec: Optional[ModelSpec] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("fast", "legacy"):
+            raise ValueError(f"unknown model engine {self.engine!r}")
+        if self.spec is None:
+            try:
+                self.spec = ModelSpec.from_objects(
+                    self.topo,
+                    self.pattern,
+                    self.policy,
+                    mode=self.mode,
+                    monotonic=self.monotonic,
+                    max_descriptors=self.max_descriptors,
+                    seed=self.seed,
+                    engine=self.engine,
+                )
+            except SpecError:
+                self.spec = None  # ad-hoc components: ship live objects
+
+    def key(self) -> Optional[str]:
+        """Content-address of this solve (``None`` = uncacheable)."""
+        if self.spec is None:
+            return None
+        return model_fingerprint(self.spec)
+
+    def payload(self) -> Union[ModelSpec, "ModelTask"]:
+        """What to ship to a worker: the spec when one exists."""
+        return self.spec if self.spec is not None else self
+
+
+# Per-process solver memo: a worker (or the serial path) reuses one
+# FastModel / PathStatsCache per (topology, enumeration options), so the
+# expensive structural factorization is paid once per process per
+# topology, not once per task.  Bounded to a handful of topologies.
+_SOLVER_MEMO: Dict[Tuple, object] = {}
+_SOLVER_MEMO_MAX = 4
+
+
+def _solver_for(
+    topo: Dragonfly,
+    engine: str,
+    max_descriptors: Optional[int],
+    seed: int,
+) -> object:
+    from repro.model.fastpath import FastModel
+    from repro.model.pathstats import PathStatsCache
+    from repro.perf.cache import topology_fingerprint
+
+    key = (
+        tuple(sorted(topology_fingerprint(topo).items())),
+        engine,
+        max_descriptors,
+        seed,
+    )
+    solver = _SOLVER_MEMO.get(key)
+    if solver is None:
+        if len(_SOLVER_MEMO) >= _SOLVER_MEMO_MAX:
+            _SOLVER_MEMO.pop(next(iter(_SOLVER_MEMO)))
+        if engine == "fast":
+            solver = FastModel(
+                topo, max_descriptors=max_descriptors, seed=seed
+            )
+        else:
+            solver = PathStatsCache(
+                topo, max_descriptors=max_descriptors, seed=seed
+            )
+        _SOLVER_MEMO[key] = solver
+    return solver
+
+
+def run_model_task(task: ModelTask) -> ModelResult:
+    """Execute one model solve (also the serial path), memoizing the
+    per-topology structural state across calls in this process."""
+    from repro.model.fastpath import FastModel
+    from repro.model.lp_model import model_throughput
+    from repro.model.pathstats import PathStatsCache
+
+    solver = _solver_for(
+        task.topo, task.engine, task.max_descriptors, task.seed
+    )
+    demand = task.pattern.demand_matrix()
+    if task.engine == "fast":
+        assert isinstance(solver, FastModel)
+        return solver.solve(
+            demand,
+            policy=task.policy,
+            mode=task.mode,
+            monotonic=task.monotonic,
+        )
+    assert isinstance(solver, PathStatsCache)
+    return model_throughput(
+        task.topo,
+        demand,
+        policy=task.policy,
+        cache=solver,
+        mode=task.mode,
+        monotonic=task.monotonic,
+    )
+
+
+def _run_model_payload(payload: Union[ModelSpec, ModelTask]) -> ModelResult:
+    """Worker entry point for model solves."""
+    if isinstance(payload, ModelSpec):
+        topo = payload.topology.build()
+        return run_model_task(
+            ModelTask(
+                topo=topo,
+                pattern=payload.pattern.build(topo),
+                policy=payload.policy.build(),
+                mode=payload.mode,
+                monotonic=payload.monotonic,
+                max_descriptors=payload.max_descriptors,
+                seed=payload.seed,
+                engine=payload.engine,
+                spec=payload,
+            )
+        )
+    return run_model_task(payload)
+
+
 class SweepExecutor:
     """Runs batches of :class:`SimTask` with optional pool and cache.
 
@@ -141,7 +297,19 @@ class SweepExecutor:
         jobs: Optional[int] = None,
         cache: Optional[SimCache] = None,
     ) -> None:
-        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        if jobs is None:
+            self.jobs = default_jobs()
+        else:
+            self.jobs = max(1, int(jobs))
+            cap = os.cpu_count() or 1
+            if self.jobs > cap:
+                warnings.warn(
+                    f"SweepExecutor(jobs={self.jobs}) oversubscribes this "
+                    f"host ({cap} CPU{'s' if cap != 1 else ''}); CPU-bound "
+                    f"workers will contend and can run slower than serial",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         self.cache = cache
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_broken = False
@@ -173,15 +341,21 @@ class SweepExecutor:
         return self._pool
 
     # ------------------------------------------------------------------
-    def run(self, tasks: Sequence[SimTask]) -> List[SimResult]:
-        """Execute a batch; results align index-for-index with ``tasks``."""
+    def _execute(
+        self,
+        tasks: Sequence,
+        worker: Callable,
+        cache_get: Optional[Callable],
+        cache_put: Optional[Callable],
+    ) -> List:
+        """Shared batch machinery: cache consult -> pool/serial -> fill."""
         tasks = list(tasks)
-        results: List[Optional[SimResult]] = [None] * len(tasks)
+        results: List = [None] * len(tasks)
         pending: List[tuple] = []  # (index, cache key, task)
         for i, task in enumerate(tasks):
-            key = task.key() if self.cache is not None else None
+            key = task.key() if cache_get is not None else None
             if key is not None:
-                hit = self.cache.get(key)
+                hit = cache_get(key)
                 if hit is not None:
                     results[i] = hit
                     self.cache_hits += 1
@@ -196,16 +370,40 @@ class SweepExecutor:
             )
             payloads = [t.payload() for _i, _k, t in pending]
             if pool is not None:
-                computed = list(pool.map(_run_payload, payloads))
+                computed = list(pool.map(worker, payloads))
                 self.computed_parallel += len(pending)
             else:
-                computed = [_run_payload(p) for p in payloads]
+                computed = [worker(p) for p in payloads]
                 self.computed_serial += len(pending)
             for (i, key, _task), result in zip(pending, computed):
                 results[i] = result
-                if self.cache is not None and key is not None:
-                    self.cache.put(key, result)
-        return results  # type: ignore[return-value]
+                if cache_put is not None and key is not None:
+                    cache_put(key, result)
+        return results
+
+    def run(self, tasks: Sequence[SimTask]) -> List[SimResult]:
+        """Execute a sim batch; results align index-for-index with
+        ``tasks``."""
+        cache = self.cache
+        return self._execute(
+            tasks,
+            _run_payload,
+            cache.get if cache is not None else None,
+            cache.put if cache is not None else None,
+        )
+
+    def run_models(self, tasks: Sequence[ModelTask]) -> List[ModelResult]:
+        """Execute a batch of LP-model solves, with the same cache
+        consult / pool fan-out / deterministic ordering as :meth:`run`
+        (model results live in the same :class:`SimCache` under their
+        own record kind)."""
+        cache = self.cache
+        return self._execute(
+            tasks,
+            _run_model_payload,
+            cache.get_model if cache is not None else None,
+            cache.put_model if cache is not None else None,
+        )
 
     def run_one(self, task: SimTask) -> SimResult:
         """Convenience wrapper: a single point through cache + stats."""

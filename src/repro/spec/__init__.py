@@ -29,6 +29,7 @@ from repro.spec.registry import (
 )
 from repro.spec.builtins import resolve_routing, strategy_for
 from repro.spec.specs import (
+    ModelSpec,
     PatternSpec,
     PolicySpec,
     RunSpec,
@@ -40,6 +41,7 @@ from repro.spec.specs import (
 )
 
 __all__ = [
+    "ModelSpec",
     "PatternSpec",
     "PolicySpec",
     "POLICY_REGISTRY",

@@ -37,6 +37,7 @@ from repro.topology.cascade import CascadeDragonfly
 from repro.topology.dragonfly import Dragonfly
 
 __all__ = [
+    "ModelSpec",
     "PatternSpec",
     "PolicySpec",
     "RunSpec",
@@ -350,6 +351,128 @@ class RunSpec:
 
     def fingerprint(self) -> str:
         """Stable content address (the result-cache key material)."""
+        return _digest(self.to_dict())
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One LP throughput-model solve, fully declaratively.
+
+    The model analogue of :class:`RunSpec`: topology + pattern (whose
+    demand matrix is the LP's right-hand structure) + policy (translated
+    to leg-split class weights) + solver options.  ``engine`` is part of
+    the identity on purpose -- fast-path and legacy results agree only to
+    numerical tolerance, so they must never share a cache entry.
+    """
+
+    topology: TopologySpec
+    pattern: PatternSpec
+    policy: PolicySpec
+    mode: str = "uniform"
+    monotonic: bool = True
+    max_descriptors: Optional[int] = None
+    seed: int = 0
+    engine: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("uniform", "free"):
+            raise SpecError(f"unknown model mode {self.mode!r}")
+        if self.engine not in ("fast", "legacy"):
+            raise SpecError(f"unknown model engine {self.engine!r}")
+        object.__setattr__(self, "seed", int(self.seed))
+
+    @classmethod
+    def from_objects(
+        cls,
+        topo: Dragonfly,
+        pattern: Any,
+        policy: Any,
+        *,
+        mode: str = "uniform",
+        monotonic: bool = True,
+        max_descriptors: Optional[int] = None,
+        seed: int = 0,
+        engine: str = "fast",
+    ) -> "ModelSpec":
+        """From live objects; :class:`SpecError` on unregistered types."""
+        return cls(
+            topology=TopologySpec.of(topo),
+            pattern=PatternSpec.of(pattern),
+            policy=PolicySpec.of(policy),
+            mode=mode,
+            monotonic=monotonic,
+            max_descriptors=max_descriptors,
+            seed=seed,
+            engine=engine,
+        )
+
+    def solve(self) -> Any:
+        """Execute this solve from scratch (the worker entry point).
+
+        Builds every component fresh; callers that amortize structural
+        state across solves should go through
+        :class:`repro.perf.executor.SweepExecutor` instead, whose worker
+        memoizes per-topology solver state.
+        """
+        from repro.model.fastpath import FastModel
+        from repro.model.lp_model import model_throughput
+
+        topo = self.topology.build()
+        demand = self.pattern.build(topo).demand_matrix()
+        policy = self.policy.build()
+        if self.engine == "fast":
+            return FastModel(
+                topo, max_descriptors=self.max_descriptors, seed=self.seed
+            ).solve(
+                demand,
+                policy=policy,
+                mode=self.mode,
+                monotonic=self.monotonic,
+            )
+        from repro.model.pathstats import PathStatsCache
+
+        return model_throughput(
+            topo,
+            demand,
+            policy=policy,
+            cache=PathStatsCache(
+                topo, max_descriptors=self.max_descriptors, seed=self.seed
+            ),
+            mode=self.mode,
+            monotonic=self.monotonic,
+        )
+
+    def replace(self, **changes: Any) -> "ModelSpec":
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": SPEC_VERSION,
+            "topology": self.topology.to_dict(),
+            "pattern": self.pattern.to_dict(),
+            "policy": self.policy.to_dict(),
+            "mode": self.mode,
+            "monotonic": self.monotonic,
+            "max_descriptors": self.max_descriptors,
+            "seed": self.seed,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ModelSpec":
+        return cls(
+            topology=TopologySpec.from_dict(data["topology"]),
+            pattern=PatternSpec.from_dict(data["pattern"]),
+            policy=PolicySpec.from_dict(data["policy"]),
+            mode=data.get("mode", "uniform"),
+            monotonic=data.get("monotonic", True),
+            max_descriptors=data.get("max_descriptors"),
+            seed=data.get("seed", 0),
+            engine=data.get("engine", "fast"),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content address (the model-cache key material)."""
         return _digest(self.to_dict())
 
 

@@ -28,6 +28,8 @@ PUBLIC_MODULES = [
     "repro.model",
     "repro.model.lp_model",
     "repro.model.pathstats",
+    "repro.model.fastpath",
+    "repro.model.symmetry",
     "repro.model.sweep",
     "repro.model.bounds",
     "repro.core",

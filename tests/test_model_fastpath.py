@@ -1,0 +1,337 @@
+"""Parity and structural tests for the factored LP fast path.
+
+The contract under test: ``FastModel`` / ``engine="fast"`` sweeps are a
+pure performance refactor of the legacy per-solve assembly -- same
+throughputs (to 1e-9) on the same inputs, plus the structural layers
+(vectorized block builder, symmetry folding, ModelResult caching) each
+verified against their slow reference.
+
+``min_fraction`` parity is asserted at a documented looser tolerance:
+the MIN/VLB split at the throughput optimum is a degenerate LP vertex
+(many splits achieve the same lambda), and the fast path's permuted row
+order can land HiGHS on a different optimal vertex.  Throughput -- the
+objective, and the only field Step 1 consumes -- is tight.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.datapoints import table1_datapoints
+from repro.model import (
+    BlockCache,
+    FastModel,
+    PairBlock,
+    PathStatsCache,
+    RotationSymmetry,
+    model_throughput,
+    step1_sweep,
+)
+from repro.model.fastpath import build_pair_block
+from repro.model.pathstats import compute_pair_stats
+from repro.routing.channels import ChannelIndex
+from repro.routing.pathset import (
+    AllVlbPolicy,
+    ExcludingPolicy,
+    ExplicitPathSet,
+    HopClassPolicy,
+)
+from repro.topology import Dragonfly
+from repro.traffic import Shift, type_1_set, type_2_set
+
+SMALL = Dragonfly(2, 4, 2, 5)
+
+
+def _assert_blocks_equal(a: PairBlock, b: PairBlock) -> None:
+    assert a.min_count == b.min_count
+    np.testing.assert_array_equal(a.min_idx, b.min_idx)
+    np.testing.assert_array_equal(a.min_val, b.min_val)
+    np.testing.assert_array_equal(a.counts, b.counts)
+    np.testing.assert_array_equal(a.cls_id, b.cls_id)
+    np.testing.assert_array_equal(a.cls_idx, b.cls_idx)
+    np.testing.assert_array_equal(a.cls_val, b.cls_val)
+
+
+class TestBlockBuilder:
+    def test_vectorized_matches_enumeration(self):
+        """The closed-form builder is bit-exact vs per-path enumeration."""
+        chidx = ChannelIndex(SMALL)
+        pairs = [(0, 5), (0, 4), (1, 18), (3, 12), (0, 2), (7, 6)]
+        for src, dst in pairs:
+            fast = build_pair_block(SMALL, chidx, src, dst)
+            slow = PairBlock.from_stats(
+                compute_pair_stats(SMALL, chidx, src, dst)
+            )
+            _assert_blocks_equal(fast, slow)
+
+    def test_roundtrip_through_stats(self):
+        chidx = ChannelIndex(SMALL)
+        block = build_pair_block(SMALL, chidx, 0, 9)
+        again = PairBlock.from_stats(block.to_stats())
+        _assert_blocks_equal(block, again)
+
+
+class TestSymmetry:
+    def test_absolute_arrangement_has_no_rotations(self):
+        # absolute global-link arrangement is not invariant under group
+        # rotation; only the identity may be accepted
+        topo = Dragonfly(2, 4, 2, 5, arrangement="absolute")
+        sym = RotationSymmetry(topo, ChannelIndex(topo))
+        assert sym.rotations == [0]
+        assert sym.fold_factor == 1
+
+    @pytest.mark.parametrize("arrangement", ["relative", "circulant"])
+    def test_rotation_invariant_arrangements(self, arrangement):
+        topo = Dragonfly(2, 4, 2, 5, arrangement=arrangement)
+        sym = RotationSymmetry(topo, ChannelIndex(topo))
+        assert sym.rotations == list(range(topo.g))
+
+    @pytest.mark.parametrize("arrangement", ["relative", "circulant"])
+    def test_folded_blocks_bit_exact(self, arrangement):
+        topo = Dragonfly(2, 4, 2, 5, arrangement=arrangement)
+        chidx = ChannelIndex(topo)
+        folded = BlockCache(topo, chidx=chidx, symmetry="auto")
+        direct = BlockCache(topo, chidx=chidx, symmetry="off")
+        rng = np.random.default_rng(7)
+        n = topo.num_switches
+        for _ in range(25):
+            src, dst = rng.integers(0, n, size=2)
+            if src == dst:
+                continue
+            _assert_blocks_equal(
+                folded.get(int(src), int(dst)),
+                direct.get(int(src), int(dst)),
+            )
+        # folding must actually have happened for the test to mean much
+        assert folded.folded > 0
+        assert folded.built < direct.built
+
+    def test_subsampled_pairs_never_folded(self):
+        # descriptor subsampling is seeded per (seed, src, dst): an
+        # orbit representative's subsample is NOT the pair's subsample
+        topo = Dragonfly(2, 4, 2, 5, arrangement="relative")
+        cache = BlockCache(topo, max_descriptors=10, symmetry="auto")
+        cache.get(0, 9)
+        cache.get(4, 13)  # same orbit as (0, 9) under rotation
+        assert cache.folded == 0
+
+
+class TestFastModelParity:
+    @pytest.mark.parametrize("mode", ["uniform", "free"])
+    def test_small_topology_parity(self, mode):
+        cache = PathStatsCache(SMALL)
+        fast = FastModel(SMALL)
+        policies = [
+            AllVlbPolicy(),
+            HopClassPolicy(3, 0.0),
+            HopClassPolicy(4, 0.5),
+            HopClassPolicy(5, 0.25),
+        ]
+        patterns = [Shift(SMALL, 1, 0), Shift(SMALL, 2, 1)] + type_2_set(
+            SMALL, count=1
+        )
+        for policy in policies:
+            for pat in patterns:
+                demand = pat.demand_matrix()
+                ref = model_throughput(
+                    SMALL, demand, policy=policy, cache=cache, mode=mode
+                )
+                got = fast.solve(demand, policy=policy, mode=mode)
+                assert got.throughput == pytest.approx(
+                    ref.throughput, abs=1e-9
+                )
+                # degenerate-vertex tolerance (see module docstring)
+                assert got.min_fraction == pytest.approx(
+                    ref.min_fraction, abs=2e-2
+                )
+                assert got.num_pairs == ref.num_pairs
+
+    @pytest.mark.slow
+    def test_table1_parity_paper_topology(self):
+        """Every Table-1 datapoint, TYPE_1 + TYPE_2 sample, dfly(4,8,4,9)."""
+        topo = Dragonfly(4, 8, 4, 9)
+        grid = table1_datapoints(step=0.1)  # all 31 datapoints
+        patterns = [type_1_set(topo)[11]] + type_2_set(topo, count=1)
+        fast = step1_sweep(
+            topo, patterns, grid, mode="free", engine="fast"
+        )
+        legacy = step1_sweep(
+            topo, patterns, grid, mode="free", engine="legacy"
+        )
+        for f, l in zip(fast, legacy):
+            assert f.label == l.label
+            for a, b in zip(f.per_pattern, l.per_pattern):
+                assert a == pytest.approx(b, abs=1e-9)
+
+    def test_monotonic_flag_respected(self):
+        # free mode without the paper's monotonicity rows over-estimates
+        # (or matches) -- and the fast path must agree with legacy there
+        cache = PathStatsCache(SMALL)
+        fast = FastModel(SMALL)
+        demand = Shift(SMALL, 1, 0).demand_matrix()
+        policy = HopClassPolicy(4, 0.5)
+        for mono in (True, False):
+            ref = model_throughput(
+                SMALL, demand, policy=policy, cache=cache, mode="free",
+                monotonic=mono,
+            )
+            got = fast.solve(
+                demand, policy=policy, mode="free", monotonic=mono
+            )
+            assert got.throughput == pytest.approx(ref.throughput, abs=1e-9)
+
+    def test_cascade_falls_back_to_legacy(self):
+        from repro.topology.cascade import CascadeDragonfly
+
+        topo = CascadeDragonfly(p=2, a=6, h=2, g=3, rows=2, cols=3)
+        fast = FastModel(topo)
+        assert fast._fallback is not None
+        demand = Shift(topo, 1, 0).demand_matrix()
+        ref = model_throughput(topo, demand, mode="free")
+        got = fast.solve(demand, mode="free")
+        assert got.throughput == pytest.approx(ref.throughput, abs=1e-9)
+
+
+class TestWeightsForPolicyRejection:
+    def test_excluding_policy_rejected(self):
+        from repro.model.lp_model import weights_for_policy
+
+        policy = ExcludingPolicy(base=AllVlbPolicy())
+        with pytest.raises(ValueError, match="class-weight"):
+            weights_for_policy(policy)
+
+    def test_explicit_pathset_rejected(self):
+        from repro.model.lp_model import weights_for_policy
+
+        with pytest.raises(ValueError, match="class-weight"):
+            weights_for_policy(ExplicitPathSet())
+
+    def test_unknown_policy_type_errors(self):
+        from repro.model.lp_model import weights_for_policy
+        from repro.routing.pathset import PathPolicy
+
+        class Oddball(PathPolicy):
+            def contains(self, topo, src, dst, desc):
+                return True
+
+            def describe(self):
+                return "oddball"
+
+        with pytest.raises(TypeError):
+            weights_for_policy(Oddball())
+
+    def test_model_evaluator_scores_unrepresentable_policy_low(self):
+        # ExcludingPolicy is approximated by its base; ExplicitPathSet
+        # has no base to fall back to, so it must score -1.0 instead of
+        # raising out of Algorithm 1
+        from repro.core.algorithm import model_evaluator
+
+        evaluate = model_evaluator(SMALL, num_patterns=1)
+        assert evaluate(ExplicitPathSet(), "explicit") == -1.0
+
+
+class TestModelCache:
+    def test_warm_cache_serves_model_results(self, tmp_path):
+        from repro.perf import ModelTask, SimCache, SweepExecutor
+
+        cache = SimCache(str(tmp_path))
+        tasks = [
+            ModelTask(
+                topo=SMALL,
+                pattern=Shift(SMALL, 1, 0),
+                policy=HopClassPolicy(4, 0.5),
+                mode="free",
+            ),
+            ModelTask(
+                topo=SMALL,
+                pattern=Shift(SMALL, 2, 0),
+                policy=AllVlbPolicy(),
+                mode="uniform",
+            ),
+        ]
+        with SweepExecutor(jobs=1, cache=cache) as executor:
+            cold = executor.run_models(tasks)
+        assert cache.misses == len(tasks)
+        with SweepExecutor(jobs=1, cache=cache) as executor:
+            warm = executor.run_models(tasks)
+        assert cache.hits == len(tasks)
+        for c, w in zip(cold, warm):
+            assert w.throughput == c.throughput
+            assert w.min_fraction == c.min_fraction
+            assert w.status == c.status
+            assert w.num_pairs == c.num_pairs
+
+    def test_kind_discriminator_isolates_records(self, tmp_path):
+        # a model record must never deserialize as a sim result, even if
+        # someone looks it up with the wrong accessor
+        from repro.perf import ModelTask, SimCache, SweepExecutor
+
+        cache = SimCache(str(tmp_path))
+        task = ModelTask(
+            topo=SMALL,
+            pattern=Shift(SMALL, 1, 0),
+            policy=AllVlbPolicy(),
+        )
+        with SweepExecutor(jobs=1, cache=cache) as executor:
+            executor.run_models([task])
+        key = task.key()
+        assert key is not None
+        assert cache.get_model(key) is not None
+        assert cache.get(key) is None
+
+    def test_model_spec_roundtrip(self):
+        from repro.spec import ModelSpec
+
+        spec = ModelSpec.from_objects(
+            SMALL,
+            Shift(SMALL, 1, 0),
+            policy=HopClassPolicy(4, 0.5),
+            mode="free",
+            monotonic=False,
+            max_descriptors=100,
+            seed=3,
+            engine="fast",
+        )
+        again = ModelSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.fingerprint() == spec.fingerprint()
+        res_a = spec.solve()
+        res_b = again.solve()
+        assert res_a.throughput == res_b.throughput
+
+    def test_engines_never_share_cache_entries(self):
+        from repro.perf import ModelTask
+
+        fast = ModelTask(
+            topo=SMALL, pattern=Shift(SMALL, 1, 0), policy=AllVlbPolicy()
+        )
+        legacy = ModelTask(
+            topo=SMALL,
+            pattern=Shift(SMALL, 1, 0),
+            policy=AllVlbPolicy(),
+            engine="legacy",
+        )
+        assert fast.key() is not None
+        assert fast.key() != legacy.key()
+
+
+class TestJobsClamp:
+    def test_oversubscription_warns_but_honours_request(self):
+        import os
+
+        from repro.perf import SweepExecutor
+
+        cap = os.cpu_count() or 1
+        with pytest.warns(RuntimeWarning, match="oversubscribes"):
+            executor = SweepExecutor(jobs=cap + 1)
+        assert executor.jobs == cap + 1
+        executor.close()
+
+    def test_within_capacity_is_silent(self):
+        from repro.perf import SweepExecutor
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            executor = SweepExecutor(jobs=1)
+        executor.close()

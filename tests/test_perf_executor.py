@@ -95,10 +95,16 @@ def test_replicate_executor_identical():
 
 
 def test_default_jobs_env(monkeypatch):
+    import os
+
+    cap = os.cpu_count() or 1
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     assert default_jobs() == 1
     monkeypatch.setenv("REPRO_JOBS", "6")
-    assert default_jobs() == 6
+    # $REPRO_JOBS is honoured up to the host's core count: oversubscribing
+    # a sweep slows it down (BENCH_sim.json parallel_speedup < 1 on a
+    # 1-CPU host), so the default never exceeds os.cpu_count().
+    assert default_jobs() == min(6, cap)
     monkeypatch.setenv("REPRO_JOBS", "not-a-number")
     assert default_jobs() == 1
 
