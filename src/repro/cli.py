@@ -15,6 +15,14 @@ Commands:
 * ``verify`` -- static deadlock-freedom certification + path-set lint
 * ``figure`` -- regenerate one of the paper's tables/figures
 * ``bench``  -- engine/sweep performance benchmarks (``BENCH_sim.json``)
+* ``obs``    -- summarize or export recorded traces (``repro.obs``):
+  ``obs summarize trace.jsonl`` prints task/cache/engine aggregates,
+  ``obs export trace.jsonl --out trace.json`` writes a Chrome
+  ``trace_event`` file for ``chrome://tracing`` / Perfetto
+
+``-v/--verbose`` (before the subcommand) attaches a stderr handler to
+the ``repro`` logger (``-vv`` for debug); ``sweep --trace/--sample-every
+/--progress`` records executor lifecycles and engine timeline samples.
 
 Specification mini-languages (parsed by the ``repro.spec`` registries,
 so the CLI and the Python API accept the same strings and raise the same
@@ -109,14 +117,21 @@ def parse_loads(spec: str) -> List[float]:
         )
 
 
-def _make_executor(args):
-    """A SweepExecutor from common --jobs/--cache/--cache-dir flags."""
+def _make_executor(args, progress=None):
+    """A SweepExecutor from common --jobs/--cache/--cache-dir flags.
+
+    ``progress`` (a :class:`repro.obs.ProgressReporter`) is attached
+    when the command asked for heartbeats; the executor's tracer is left
+    unset so it picks up any active ``repro.obs.capture`` context.
+    """
     from repro.perf import SimCache, SweepExecutor
 
     cache = None
     if getattr(args, "cache", False):
         cache = SimCache(getattr(args, "cache_dir", None))
-    return SweepExecutor(jobs=getattr(args, "jobs", None), cache=cache)
+    return SweepExecutor(
+        jobs=getattr(args, "jobs", None), cache=cache, progress=progress
+    )
 
 
 def _exec_args(p, jobs_default=None):
@@ -239,6 +254,15 @@ def _cmd_sim(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    from contextlib import nullcontext
+
+    from repro.obs import (
+        ObsConfig,
+        ProgressReporter,
+        Tracer,
+        capture,
+        render_summary,
+    )
     from repro.sim import SimParams
     from repro.sim.sweep import latency_vs_load
 
@@ -252,7 +276,21 @@ def _cmd_sweep(args) -> int:
     )
     loads = parse_loads(args.loads)
     params = SimParams(window_cycles=args.window, verify=args.verify)
-    with _make_executor(args) as executor:
+    if args.sample_every or args.trace_dir:
+        # identity-neutral: traced points still share cache entries with
+        # untraced runs of the same spec
+        params = params.with_obs(
+            ObsConfig(
+                sample_every=args.sample_every,
+                trace_dir=args.trace_dir,
+            )
+        )
+    tracer = Tracer() if args.trace else None
+    progress = (
+        ProgressReporter(label="sweep") if args.progress else None
+    )
+    ctx = capture(tracer) if tracer is not None else nullcontext()
+    with _make_executor(args, progress=progress) as executor, ctx:
         sweep = latency_vs_load(
             topo,
             pattern,
@@ -275,6 +313,13 @@ def _cmd_sweep(args) -> int:
                 f"{'yes' if saturated else 'no'}"
             )
         print(f"  saturation throughput: {sweep.saturation_throughput():.4f}")
+    if tracer is not None:
+        if args.trace.endswith(".jsonl"):
+            tracer.save_jsonl(args.trace)
+        else:
+            tracer.export_chrome(args.trace)
+        print(render_summary(tracer.summary()))
+        print(f"[saved trace to {args.trace}]")
     return 0
 
 
@@ -346,6 +391,39 @@ def _cmd_verify(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    import glob as globlib
+    import json
+
+    from repro.obs import Tracer, render_summary
+
+    paths: List[str] = []
+    for spec in args.traces:
+        matched = sorted(globlib.glob(spec))
+        paths.extend(matched if matched else [spec])
+    tracer = Tracer()
+    for path in paths:
+        try:
+            tracer.extend(Tracer.load_jsonl(path).events)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read trace {path!r}: {exc}")
+    if args.action == "summarize":
+        if args.json:
+            print(json.dumps(tracer.summary(), indent=2, sort_keys=True))
+        else:
+            print(render_summary(tracer.summary()))
+        return 0
+    out = args.out if args.out else "trace.json"
+    tracer.export_chrome(out)
+    print(
+        f"[saved Chrome trace to {out}] "
+        f"({len(tracer)} events from {len(paths)} file"
+        f"{'s' if len(paths) != 1 else ''}; open in chrome://tracing "
+        f"or https://ui.perfetto.dev)"
+    )
+    return 0
+
+
 def _cmd_figure(args) -> int:
     from repro.experiments import run_figure
 
@@ -361,6 +439,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Topology-Custom UGAL on Dragonfly (SC '19) toolkit",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log repro internals to stderr (-v info, -vv debug); "
+             "must precede the subcommand",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -426,6 +509,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--verify", action="store_true",
                    help="statically verify the configuration before "
                         "simulating (repro.verify pre-flight gate)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="record executor/engine events and write the "
+                        "trace here (.jsonl = raw events, anything else "
+                        "= Chrome trace_event JSON for chrome://tracing)")
+    p.add_argument("--sample-every", type=int, default=0, metavar="K",
+                   help="sample engine state (utilization, VC occupancy, "
+                        "backlog) every K cycles (default 0 = off)")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="per-run engine trace JSONL files land here "
+                        "(required for engine samples from pool workers)")
+    p.add_argument("--progress", action="store_true",
+                   help="heartbeat/ETA lines on stderr while the batch "
+                        "runs")
     _exec_args(p)
     p.set_defaults(func=_cmd_sweep)
 
@@ -472,6 +568,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="emit the report as JSON")
     p.set_defaults(func=_cmd_verify)
 
+    p = sub.add_parser(
+        "obs", help="summarize or export recorded traces (repro.obs)"
+    )
+    p.add_argument("action", choices=["summarize", "export"],
+                   help="summarize: aggregate stats; export: Chrome "
+                        "trace_event JSON")
+    p.add_argument("traces", nargs="+",
+                   help="JSONL trace files (globs ok), e.g. the --trace "
+                        "output of sweep or engine-*.jsonl from a "
+                        "--trace-dir")
+    p.add_argument("--json", action="store_true",
+                   help="summarize as JSON instead of text")
+    p.add_argument("--out", default=None,
+                   help="export output path (default trace.json)")
+    p.set_defaults(func=_cmd_obs)
+
     p = sub.add_parser("figure", help="regenerate a paper table/figure")
     p.add_argument("name", help="e.g. table2, fig06")
     p.add_argument("--json", default=None,
@@ -492,6 +604,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)
+    if args.verbose:
+        from repro.obs import enable_verbose
+
+        enable_verbose(args.verbose)
     return args.func(args)
 
 

@@ -26,12 +26,15 @@ is ``p`` packets/cycle per switch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
 from scipy.sparse import coo_matrix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.manifest import RunManifest
 
 from repro.model.pathstats import PathStatsCache
 from repro.routing.pathset import PathPolicy
@@ -50,6 +53,11 @@ class ModelResult:
     min_fraction: float  # share of served traffic routed MIN
     status: str
     num_pairs: int
+    # provenance record (repro.obs), excluded from equality: environment
+    # fields vary run to run while the solve itself is deterministic
+    manifest: Optional["RunManifest"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.model.lp_model import model_throughput
 from repro.model.pathstats import PathStatsCache
+from repro.obs.log import get_logger
 from repro.routing.pathset import HopClassPolicy
 from repro.topology.dragonfly import Dragonfly
 from repro.traffic.patterns import TrafficPattern
@@ -31,6 +32,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.perf.executor import SweepExecutor
 
 __all__ = ["SweepPoint", "step1_sweep", "best_point", "candidate_vicinity"]
+
+_log = get_logger("model.sweep")
 
 
 @dataclass
@@ -81,6 +84,13 @@ def step1_sweep(
 
     from repro.perf.executor import ModelTask, run_model_task
 
+    _log.info(
+        "step1_sweep: %d datapoints x %d patterns (%s engine, %s)",
+        len(datapoints),
+        len(patterns),
+        engine,
+        "executor" if executor is not None else "in-process",
+    )
     tasks = [
         ModelTask(
             topo=topo,
@@ -107,6 +117,7 @@ def step1_sweep(
             for r in results[i * num_patterns : (i + 1) * num_patterns]
         ]
         points.append(_make_point(policy, values))
+    _log.info("step1_sweep: %d points done", len(points))
     return points
 
 

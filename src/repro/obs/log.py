@@ -1,0 +1,59 @@
+"""Package-level logging: the ``repro`` logger hierarchy.
+
+Library rule: ``repro`` never configures the root logger and emits
+nothing unless the application opts in -- the package logger carries a
+:class:`logging.NullHandler` so an unconfigured program stays silent.
+Modules obtain children via :func:`get_logger` (``repro.<name>``) and
+log operational events through them: the executor's oversubscription
+warning, cache-corruption fallbacks, batch lifecycle debug lines.
+
+``python -m repro -v ...`` (and ``-vv`` for debug) calls
+:func:`enable_verbose`, which attaches one stderr handler to the package
+logger; applications embedding the library should instead configure the
+``repro`` logger with standard :mod:`logging` machinery.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["enable_verbose", "get_logger", "logger"]
+
+logger = logging.getLogger("repro")
+"""The package root logger (NullHandler attached; never configured)."""
+
+logger.addHandler(logging.NullHandler())
+
+_VERBOSE_HANDLER: Optional[logging.Handler] = None
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The ``repro.<name>`` child logger (e.g. ``get_logger("perf")``)."""
+    return logger.getChild(name)
+
+
+def enable_verbose(verbosity: int = 1) -> logging.Logger:
+    """Attach a stderr handler to the package logger (CLI ``-v``/``-vv``).
+
+    ``verbosity`` 0 removes the handler again; 1 logs at INFO; 2 or more
+    at DEBUG.  Idempotent: repeated calls reconfigure the single handler
+    instead of stacking duplicates.
+    """
+    global _VERBOSE_HANDLER
+    if _VERBOSE_HANDLER is not None:
+        logger.removeHandler(_VERBOSE_HANDLER)
+        _VERBOSE_HANDLER = None
+    if verbosity <= 0:
+        logger.setLevel(logging.NOTSET)
+        return logger
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    level = logging.INFO if verbosity == 1 else logging.DEBUG
+    handler.setLevel(level)
+    logger.setLevel(level)
+    logger.addHandler(handler)
+    _VERBOSE_HANDLER = handler
+    return logger

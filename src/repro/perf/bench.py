@@ -34,6 +34,7 @@ import time
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import ObsConfig
 from repro.perf.cache import SimCache
 from repro.perf.executor import SweepExecutor
 from repro.sim.network import Network, Router, SimChannel
@@ -49,6 +50,7 @@ __all__ = [
     "LegacySimChannel",
     "bench_engine",
     "bench_model",
+    "bench_obs",
     "bench_sweep",
     "legacy_engine",
     "main",
@@ -358,6 +360,62 @@ def bench_engine(
     }
 
 
+def bench_obs(
+    topo: Optional[Dragonfly] = None,
+    *,
+    window_cycles: int = 600,
+    load: float = 1.0,
+    routing: str = "min",
+    seed: int = 1,
+    repeats: int = 5,
+) -> Dict:
+    """Disabled-observability overhead of ``simulate()``.
+
+    Times whole runs (not just ``step()``) because the obs hooks live in
+    the injection loop and the per-cycle sampler check, outside the
+    network.  Compares ``obs=None`` (fully uninstrumented) against
+    ``ObsConfig()`` with every switch off -- the no-op registry path that
+    every instrumented call still traverses.  ``noop_overhead`` is the
+    wall-clock ratio (best-of-``repeats``, interleaved so background
+    drift hits both arms equally); the CI bench smoke asserts it stays
+    under the 1.02 budget.  Both arms must produce equal results
+    (``SimResult`` equality ignores the manifest by construction).
+    """
+    from repro.sim.engine import simulate
+
+    topo = topo if topo is not None else Dragonfly(4, 8, 4, 9)
+    pattern = UniformRandom(topo)
+    base_params = SimParams(window_cycles=window_cycles)
+    noop_params = base_params.with_obs(ObsConfig())
+
+    best_off = best_noop = float("inf")
+    result_off = result_noop = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result_off = simulate(
+            topo, pattern, load, routing=routing,
+            params=base_params, seed=seed,
+        )
+        best_off = min(best_off, time.perf_counter() - start)
+        start = time.perf_counter()
+        result_noop = simulate(
+            topo, pattern, load, routing=routing,
+            params=noop_params, seed=seed,
+        )
+        best_noop = min(best_noop, time.perf_counter() - start)
+
+    return {
+        "topology": str(topo),
+        "routing": routing,
+        "load": load,
+        "window_cycles": window_cycles,
+        "disabled_seconds": best_off,
+        "noop_seconds": best_noop,
+        "noop_overhead": best_noop / best_off if best_off else None,
+        "identical_results": result_off == result_noop,
+    }
+
+
 def bench_sweep(
     topo: Optional[Dragonfly] = None,
     *,
@@ -583,6 +641,11 @@ def run_benchmarks(
             window_cycles=engine_window,
             repeats=1 if quick else 5,
         ),
+        "obs_microbench": bench_obs(
+            topo,
+            window_cycles=engine_window,
+            repeats=3 if quick else 5,
+        ),
         "sweep": bench_sweep(
             topo,
             loads=loads,
@@ -641,6 +704,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"engine: {eng['baseline_cycles_per_sec']:.0f} -> "
           f"{eng['optimized_cycles_per_sec']:.0f} cycles/s "
           f"({eng['speedup']:.2f}x, identical={eng['identical_results']})")
+    obs = record["obs_microbench"]
+    print(f"obs disabled-overhead: {obs['noop_overhead']:.3f}x "
+          f"(identical={obs['identical_results']})")
     print(f"sweep ({len(swp['loads'])} points, jobs={swp['jobs']}, "
           f"cpus={swp['cpus']}): serial {swp['serial_seconds']:.2f}s, "
           f"parallel {swp['parallel_seconds']:.2f}s "

@@ -45,6 +45,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.model.lp_model import ModelResult
     from repro.spec.specs import ModelSpec
 
+from repro.obs.log import get_logger
+from repro.obs.manifest import RunManifest
 from repro.routing.pathset import PathPolicy
 from repro.routing.serialization import policy_to_dict
 from repro.sim.params import SimParams
@@ -82,6 +84,11 @@ __all__ = [
 # v3: records carry a "kind" discriminator (sim | model) and the cache
 # also stores LP ModelResults keyed by ModelSpec fingerprints.
 CACHE_VERSION = 3
+
+# Records may also carry a sibling "manifest" key (repro.obs provenance)
+# next to "result".  It is additive -- pre-manifest v3 entries still load
+# -- so it does not bump CACHE_VERSION.
+_log = get_logger("perf.cache")
 
 
 def default_cache_dir() -> str:
@@ -213,9 +220,9 @@ def fingerprint(
         "load": float(load),
         "routing": routing.lower(),
         "policy": pol_fp,
-        "params": dataclasses.asdict(
+        "params": (
             params if params is not None else SimParams()
-        ),
+        ).identity_dict(),
         "seed": int(seed),
     }
     blob = json.dumps(record, sort_keys=True, separators=(",", ":"))
@@ -245,7 +252,16 @@ def model_fingerprint(spec: "ModelSpec") -> str:
 # SimResult / ModelResult (de)serialization
 # ---------------------------------------------------------------------------
 def result_to_dict(result: SimResult) -> Dict:
-    return dataclasses.asdict(result)
+    """JSON form of a result, *without* its manifest.
+
+    The manifest is provenance, not measurement: it is persisted as a
+    sibling ``"manifest"`` key of the cache record (see
+    :meth:`SimCache.put`) so the result payload stays exactly what the
+    engine measured -- traced and untraced runs store identical payloads.
+    """
+    data = dataclasses.asdict(result)
+    data.pop("manifest", None)
+    return data
 
 
 def result_from_dict(data: Dict) -> SimResult:
@@ -253,7 +269,9 @@ def result_from_dict(data: Dict) -> SimResult:
 
 
 def model_result_to_dict(result: "ModelResult") -> Dict:
-    return dataclasses.asdict(result)
+    data = dataclasses.asdict(result)
+    data.pop("manifest", None)
+    return data
 
 
 def model_result_from_dict(data: Dict) -> "ModelResult":
@@ -286,18 +304,36 @@ class SimCache:
         return os.path.join(self.dir, key[:2], f"{key}.json")
 
     def _load(self, key: str, kind: str) -> Optional[Dict]:
+        path = self.path_for(key)
         try:
-            with open(self.path_for(key)) as fh:
+            with open(path) as fh:
                 data = json.load(fh)
-        except (OSError, ValueError):
+        except OSError:
+            return None  # plain miss: no entry on disk
+        except ValueError:
+            # torn/corrupt entry: fall back to recomputation, but say so
+            # (repro.obs.log; silent by default, visible with -v)
+            _log.warning("discarding corrupt cache entry %s", path)
             return None
         if data.get("version") != CACHE_VERSION:
             return None
         if data.get("kind", "sim") != kind:
+            _log.warning(
+                "cache entry %s has kind %r, expected %r; ignoring",
+                path,
+                data.get("kind", "sim"),
+                kind,
+            )
             return None
         return data
 
-    def _store(self, key: str, kind: str, result_data: Dict) -> None:
+    def _store(
+        self,
+        key: str,
+        kind: str,
+        result_data: Dict,
+        manifest: Optional["RunManifest"] = None,
+    ) -> None:
         path = self.path_for(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         payload = {
@@ -305,6 +341,8 @@ class SimCache:
             "kind": kind,
             "result": result_data,
         }
+        if manifest is not None:
+            payload["manifest"] = manifest.to_dict()
         fd, tmp = tempfile.mkstemp(
             dir=os.path.dirname(path), suffix=".tmp"
         )
@@ -320,7 +358,12 @@ class SimCache:
             raise
 
     def get(self, key: str) -> Optional[SimResult]:
-        """The cached sim result for ``key``, or ``None`` on a miss."""
+        """The cached sim result for ``key``, or ``None`` on a miss.
+
+        A hit reattaches the persisted :class:`RunManifest` (if the
+        record carries one) with ``cache="hit"``, so provenance survives
+        the round trip and records how the result was obtained *now*.
+        """
         data = self._load(key, "sim")
         if data is None:
             self.misses += 1
@@ -328,14 +371,22 @@ class SimCache:
         try:
             result = result_from_dict(data["result"])
         except (KeyError, TypeError):
+            _log.warning(
+                "cache entry %s does not deserialize as a SimResult; "
+                "recomputing",
+                self.path_for(key),
+            )
             self.misses += 1
             return None
+        result.manifest = self._manifest_of(data)
         self.hits += 1
         return result
 
     def put(self, key: str, result: SimResult) -> None:
         """Atomically store a sim result (concurrent writers are safe)."""
-        self._store(key, "sim", result_to_dict(result))
+        self._store(
+            key, "sim", result_to_dict(result), manifest=result.manifest
+        )
 
     def get_model(self, key: str) -> Optional["ModelResult"]:
         """The cached model result for ``key``, or ``None`` on a miss."""
@@ -346,14 +397,35 @@ class SimCache:
         try:
             result = model_result_from_dict(data["result"])
         except (KeyError, TypeError):
+            _log.warning(
+                "cache entry %s does not deserialize as a ModelResult; "
+                "recomputing",
+                self.path_for(key),
+            )
             self.misses += 1
             return None
+        result.manifest = self._manifest_of(data)
         self.hits += 1
         return result
 
     def put_model(self, key: str, result: "ModelResult") -> None:
         """Atomically store an LP model result."""
-        self._store(key, "model", model_result_to_dict(result))
+        self._store(
+            key,
+            "model",
+            model_result_to_dict(result),
+            manifest=result.manifest,
+        )
+
+    @staticmethod
+    def _manifest_of(data: Dict) -> Optional["RunManifest"]:
+        """The record's persisted manifest, marked as a cache hit."""
+        raw = data.get("manifest")
+        if not isinstance(raw, dict):
+            return None  # pre-manifest v3 entry: still a valid result
+        manifest = RunManifest.from_dict(raw)
+        manifest.cache = "hit"
+        return manifest
 
     def __len__(self) -> int:
         count = 0

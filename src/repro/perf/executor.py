@@ -29,12 +29,15 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import warnings
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.model.lp_model import ModelResult
+from repro.obs import ProgressReporter, Tracer, active_capture
+from repro.obs.log import get_logger
+from repro.obs.manifest import RunManifest
 from repro.perf.cache import SimCache, fingerprint, model_fingerprint
 from repro.routing.pathset import PathPolicy
 from repro.sim.engine import simulate
@@ -43,6 +46,8 @@ from repro.sim.stats import SimResult
 from repro.spec import ModelSpec, RunSpec, SpecError
 from repro.topology.dragonfly import Dragonfly
 from repro.traffic.patterns import TrafficPattern
+
+_log = get_logger("perf.executor")
 
 __all__ = [
     "ModelTask",
@@ -142,6 +147,20 @@ def _run_payload(payload: Union[RunSpec, SimTask]) -> SimResult:
     if isinstance(payload, RunSpec):
         return payload.run()
     return run_task(payload)
+
+
+def _run_payload_timed(
+    payload: Union[RunSpec, SimTask],
+) -> Tuple[SimResult, int, float, float]:
+    """Worker entry point with lifecycle telemetry.
+
+    Returns ``(result, worker_pid, started_epoch, duration_seconds)`` so
+    the parent can emit ``task_started``/``task_finished`` trace events
+    laid out per worker process without any cross-process tracer.
+    """
+    started = time.time()
+    result = _run_payload(payload)
+    return result, os.getpid(), started, time.time() - started
 
 
 @dataclass
@@ -244,23 +263,38 @@ def run_model_task(task: ModelTask) -> ModelResult:
         task.topo, task.engine, task.max_descriptors, task.seed
     )
     demand = task.pattern.demand_matrix()
+    wall_start = time.perf_counter()
     if task.engine == "fast":
         assert isinstance(solver, FastModel)
-        return solver.solve(
+        result = solver.solve(
             demand,
             policy=task.policy,
             mode=task.mode,
             monotonic=task.monotonic,
         )
-    assert isinstance(solver, PathStatsCache)
-    return model_throughput(
-        task.topo,
-        demand,
-        policy=task.policy,
-        cache=solver,
-        mode=task.mode,
-        monotonic=task.monotonic,
+    else:
+        assert isinstance(solver, PathStatsCache)
+        result = model_throughput(
+            task.topo,
+            demand,
+            policy=task.policy,
+            cache=solver,
+            mode=task.mode,
+            monotonic=task.monotonic,
+        )
+    result.manifest = RunManifest(
+        kind="model",
+        fingerprint=task.key(),
+        spec_fingerprint=(
+            task.spec.fingerprint() if task.spec is not None else None
+        ),
+        topology=str(task.topo),
+        routing=task.engine,  # the model's engine plays the variant role
+        load=None,
+        seed=int(task.seed),
+        wall_seconds=time.perf_counter() - wall_start,
     )
+    return result
 
 
 def _run_model_payload(payload: Union[ModelSpec, ModelTask]) -> ModelResult:
@@ -283,6 +317,15 @@ def _run_model_payload(payload: Union[ModelSpec, ModelTask]) -> ModelResult:
     return run_model_task(payload)
 
 
+def _run_model_payload_timed(
+    payload: Union[ModelSpec, ModelTask],
+) -> Tuple[ModelResult, int, float, float]:
+    """Model analogue of :func:`_run_payload_timed`."""
+    started = time.time()
+    result = _run_model_payload(payload)
+    return result, os.getpid(), started, time.time() - started
+
+
 class SweepExecutor:
     """Runs batches of :class:`SimTask` with optional pool and cache.
 
@@ -296,6 +339,8 @@ class SweepExecutor:
         self,
         jobs: Optional[int] = None,
         cache: Optional[SimCache] = None,
+        tracer: Optional[Tracer] = None,
+        progress: Optional[ProgressReporter] = None,
     ) -> None:
         if jobs is None:
             self.jobs = default_jobs()
@@ -303,14 +348,19 @@ class SweepExecutor:
             self.jobs = max(1, int(jobs))
             cap = os.cpu_count() or 1
             if self.jobs > cap:
-                warnings.warn(
-                    f"SweepExecutor(jobs={self.jobs}) oversubscribes this "
-                    f"host ({cap} CPU{'s' if cap != 1 else ''}); CPU-bound "
-                    f"workers will contend and can run slower than serial",
-                    RuntimeWarning,
-                    stacklevel=2,
+                _log.warning(
+                    "SweepExecutor(jobs=%d) oversubscribes this host "
+                    "(%d CPU%s); CPU-bound workers will contend and can "
+                    "run slower than serial",
+                    self.jobs,
+                    cap,
+                    "s" if cap != 1 else "",
                 )
         self.cache = cache
+        # explicit tracer wins; otherwise each batch picks up the
+        # innermost capture() tracer active at call time (if any)
+        self.tracer = tracer
+        self.progress = progress
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_broken = False
         # batch statistics (cumulative)
@@ -341,17 +391,44 @@ class SweepExecutor:
         return self._pool
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _task_label(task: object) -> str:
+        """Compact display label of a task (trace/progress cosmetics)."""
+        load = getattr(task, "load", None)
+        if load is not None:
+            return f"{getattr(task, 'routing', '?')}@{load:g}"
+        return (
+            f"{getattr(task, 'engine', 'model')}:"
+            f"{getattr(task, 'mode', '?')}"
+        )
+
     def _execute(
         self,
         tasks: Sequence,
         worker: Callable,
         cache_get: Optional[Callable],
         cache_put: Optional[Callable],
+        kind: str = "sim",
     ) -> List:
-        """Shared batch machinery: cache consult -> pool/serial -> fill."""
+        """Shared batch machinery: cache consult -> pool/serial -> fill.
+
+        ``worker`` is a *timed* entry point returning ``(result, pid,
+        started, duration)``; results stream back in task order (both
+        ``pool.map`` and the serial ``map`` are order-preserving and
+        lazy), so progress heartbeats and trace events fire as each
+        point lands, not at batch end.
+        """
         tasks = list(tasks)
+        tracer = self.tracer if self.tracer is not None else active_capture()
+        progress = self.progress
         results: List = [None] * len(tasks)
         pending: List[tuple] = []  # (index, cache key, task)
+        batch_hits = 0
+        wall_start = time.time()
+        if progress is not None:
+            progress.start(len(tasks))
+        if tracer is not None:
+            tracer.record("batch_start", kind=kind, tasks=len(tasks))
         for i, task in enumerate(tasks):
             key = task.key() if cache_get is not None else None
             if key is not None:
@@ -359,6 +436,16 @@ class SweepExecutor:
                 if hit is not None:
                     results[i] = hit
                     self.cache_hits += 1
+                    batch_hits += 1
+                    if tracer is not None:
+                        tracer.record(
+                            "cache_hit",
+                            kind=kind,
+                            index=i,
+                            label=self._task_label(task),
+                        )
+                    if progress is not None:
+                        progress.advance(cache_hit=True)
                     continue
             pending.append((i, key, task))
 
@@ -370,15 +457,67 @@ class SweepExecutor:
             )
             payloads = [t.payload() for _i, _k, t in pending]
             if pool is not None:
-                computed = list(pool.map(worker, payloads))
+                stream = pool.map(worker, payloads)
+                mode = "parallel"
                 self.computed_parallel += len(pending)
             else:
-                computed = [worker(p) for p in payloads]
+                stream = map(worker, payloads)
+                mode = "serial"
                 self.computed_serial += len(pending)
-            for (i, key, _task), result in zip(pending, computed):
+            for (i, key, task), computed in zip(pending, stream):
+                result, worker_pid, started, duration = computed
                 results[i] = result
+                if tracer is not None:
+                    label = self._task_label(task)
+                    tracer.extend(
+                        [
+                            {
+                                "type": "task_submitted",
+                                "t": wall_start,
+                                "kind": kind,
+                                "index": i,
+                                "label": label,
+                            },
+                            {
+                                "type": "task_started",
+                                "t": started,
+                                "kind": kind,
+                                "index": i,
+                                "label": label,
+                                "worker": worker_pid,
+                            },
+                        ]
+                    )
+                    tracer.record(
+                        "task_finished",
+                        kind=kind,
+                        index=i,
+                        label=label,
+                        worker=worker_pid,
+                        started=started,
+                        duration=duration,
+                        mode=mode,
+                    )
+                if progress is not None:
+                    progress.advance()
+                manifest = getattr(result, "manifest", None)
                 if cache_put is not None and key is not None:
+                    if manifest is not None:
+                        manifest.cache = "stored"
                     cache_put(key, result)
+                elif cache_get is not None and manifest is not None:
+                    # a cache was consulted but this point has no key
+                    manifest.cache = "uncacheable"
+        if tracer is not None:
+            tracer.record(
+                "batch_end",
+                kind=kind,
+                cache_hits=batch_hits,
+                computed=len(pending),
+                wall_seconds=time.time() - wall_start,
+            )
+        if progress is not None:
+            progress.finish()
         return results
 
     def run(self, tasks: Sequence[SimTask]) -> List[SimResult]:
@@ -387,9 +526,10 @@ class SweepExecutor:
         cache = self.cache
         return self._execute(
             tasks,
-            _run_payload,
+            _run_payload_timed,
             cache.get if cache is not None else None,
             cache.put if cache is not None else None,
+            kind="sim",
         )
 
     def run_models(self, tasks: Sequence[ModelTask]) -> List[ModelResult]:
@@ -400,9 +540,10 @@ class SweepExecutor:
         cache = self.cache
         return self._execute(
             tasks,
-            _run_model_payload,
+            _run_model_payload_timed,
             cache.get_model if cache is not None else None,
             cache.put_model if cache is not None else None,
+            kind="model",
         )
 
     def run_one(self, task: SimTask) -> SimResult:

@@ -12,10 +12,20 @@ when they are handed to the network, using current queue state.
 
 from __future__ import annotations
 
-from typing import Optional
+import os
+import time
+from typing import Any, Optional
 
 import numpy as np
 
+from repro.obs import (
+    NULL_REGISTRY,
+    EngineSampler,
+    MetricRegistry,
+    Tracer,
+    active_capture,
+)
+from repro.obs.manifest import RunManifest
 from repro.routing.pathset import PathPolicy
 from repro.sim.network import Network
 from repro.sim.packet import Packet
@@ -26,6 +36,58 @@ from repro.topology.dragonfly import Dragonfly
 from repro.traffic.patterns import NO_TRAFFIC, TrafficPattern
 
 __all__ = ["simulate", "build_network"]
+
+
+def _run_manifest(
+    topo: Dragonfly,
+    pattern: TrafficPattern,
+    load: float,
+    routing: str,
+    policy: Optional[PathPolicy],
+    params: SimParams,
+    seed: int,
+    spec: Optional[Any],
+) -> RunManifest:
+    """The provenance record of one run (identity fields only).
+
+    Fingerprint derivation mirrors the result cache: the declarative
+    ``RunSpec`` identity when every component is a registered spec type,
+    the structural fallback otherwise, ``None`` for ad-hoc components.
+    Lazy imports keep ``repro.sim`` importable without ``repro.perf``.
+    """
+    from repro.perf.cache import fingerprint as cache_fingerprint
+    from repro.spec import RunSpec, SpecError
+
+    if spec is None:
+        try:
+            spec = RunSpec.from_objects(
+                topo,
+                pattern,
+                load,
+                routing=routing,
+                policy=policy,
+                params=params,
+                seed=seed,
+            )
+        except SpecError:
+            spec = None
+    return RunManifest(
+        kind="sim",
+        fingerprint=cache_fingerprint(
+            topo,
+            pattern,
+            load,
+            routing=routing,
+            policy=policy,
+            params=params,
+            seed=seed,
+        ),
+        spec_fingerprint=spec.fingerprint() if spec is not None else None,
+        topology=str(topo),
+        routing=routing.lower(),
+        load=float(load),
+        seed=int(seed),
+    )
 
 
 def build_network(
@@ -70,6 +132,7 @@ def simulate(
     non-saturated run reaches and packets are only generated while below
     it (stalled generation, like BookSim's finite injection queues).
     """
+    run_spec = None
     if pattern is None and load is None:
         # spec form -- lazy import, the spec layer sits above sim
         from repro.spec import RunSpec
@@ -78,14 +141,16 @@ def simulate(
             raise TypeError(
                 "simulate() needs (topo, pattern, load, ...) or a RunSpec"
             )
-        spec = topo
-        topo = spec.topology.build()
-        pattern = spec.pattern.build(topo)
-        load = spec.load
-        routing = spec.routing
-        policy = spec.policy.build() if spec.policy is not None else None
-        params = spec.params
-        seed = spec.seed
+        run_spec = topo
+        topo = run_spec.topology.build()
+        pattern = run_spec.pattern.build(topo)
+        load = run_spec.load
+        routing = run_spec.routing
+        policy = (
+            run_spec.policy.build() if run_spec.policy is not None else None
+        )
+        params = run_spec.params
+        seed = run_spec.seed
     elif pattern is None or load is None:
         raise TypeError("simulate() needs both pattern and load")
     if not 0.0 <= load <= 1.0:
@@ -133,19 +198,56 @@ def simulate(
 
     scheduled = getattr(pattern, "scheduled", False)
 
+    # --- observability wiring (repro.obs; identity-neutral) ---
+    # The disabled default keeps the hot loop untouched beyond one
+    # ``sampler is not None`` check per cycle and no-op counter calls
+    # per injected packet (the <2% budget asserted in the bench smoke).
+    obs = params.obs
+    registry = NULL_REGISTRY
+    tracer: Optional[Tracer] = None
+    sampler: Optional[EngineSampler] = None
+    sample_every = 0
+    run_label = ""
+    if obs is not None:
+        if obs.metrics:
+            registry = MetricRegistry()
+        if obs.sample_every > 0:
+            sample_every = obs.sample_every
+            run_label = f"seed{seed}-load{load:g}"
+            tracer = Tracer()
+            tracer.record(
+                "run_start",
+                run=run_label,
+                kind="sim",
+                cycle=0,
+                topology=str(topo),
+                routing=routing,
+                load=float(load),
+                seed=int(seed),
+                sample_every=sample_every,
+            )
+            sampler = EngineSampler(tracer, network, run_label)
+    inc_injected = registry.counter("engine.packets_injected").inc
+    inc_stalled = registry.counter("engine.inject_stalls").inc
+
+    wall_start = time.perf_counter()
     for cycle in range(total_cycles):
         if cycle == warmup_cycles:
             network.reset_channel_counters()
+            if sampler is not None:
+                sampler.rebase()
         # --- injection: trace events, or Bernoulli per node ---
         if scheduled:
             for src, dst in pattern.injections_at(cycle):
                 if src == dst:
                     continue
                 if network.source_queue_len(src) >= max_source_queue:
+                    inc_stalled()
                     continue
                 packet = Packet(src, int(dst), cycle)
                 algo.route_packet(packet)
                 network.inject(packet)
+                inc_injected()
         elif load > 0.0:
             draws = rng.random(topo.num_nodes) < load
             srcs = nodes[draws]
@@ -155,11 +257,16 @@ def simulate(
                     if dst == NO_TRAFFIC:
                         continue
                     if network.source_queue_len(src) >= max_source_queue:
+                        inc_stalled()
                         continue
                     packet = Packet(src, int(dst), cycle)
                     algo.route_packet(packet)
                     network.inject(packet)
+                    inc_injected()
         network.step()
+        if sampler is not None and network.cycle % sample_every == 0:
+            sampler.sample()
+    wall_seconds = time.perf_counter() - wall_start
 
     measure_cycles = params.measure_windows * params.window_cycles
     result = stats.result(
@@ -171,4 +278,45 @@ def simulate(
         live_fraction=pattern.live_fraction(),
     )
     result.channel_utilization = network.channel_utilization(measure_cycles)
+
+    # --- provenance + trace finalization (post-measurement, off the
+    # hot path; observability must never perturb the result above) ---
+    registry.counter("engine.cycles").inc(total_cycles)
+    registry.counter("engine.packets_measured").inc(result.packets_measured)
+    registry.gauge("engine.cycles_per_sec").set(
+        total_cycles / wall_seconds if wall_seconds > 0 else 0.0
+    )
+    manifest = _run_manifest(
+        topo, pattern, load, routing, policy, params, seed, run_spec
+    )
+    manifest.wall_seconds = wall_seconds
+    manifest.engine_cycles = total_cycles
+    if registry.enabled:
+        manifest.metrics = registry.snapshot()
+    result.manifest = manifest
+    if tracer is not None:
+        tracer.record(
+            "run_end",
+            run=run_label,
+            kind="sim",
+            cycle=total_cycles,
+            cycles=total_cycles,
+            wall_seconds=wall_seconds,
+            metrics=registry.snapshot() if registry.enabled else None,
+        )
+        if obs is not None and obs.trace_dir:
+            stem = (
+                manifest.spec_fingerprint[:12]
+                if manifest.spec_fingerprint
+                else "adhoc"
+            )
+            tracer.save_jsonl(
+                os.path.join(
+                    obs.trace_dir,
+                    f"engine-{stem}-{run_label}.jsonl",
+                )
+            )
+        captured = active_capture()
+        if captured is not None:
+            captured.extend(tracer.events)
     return result

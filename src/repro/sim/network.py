@@ -615,6 +615,48 @@ class Network:
             "global_max": float(glob_arr.max()),
         }
 
+    # ------------------------------------------------------------------
+    # Observability hooks (repro.obs) -- read-only samples of live state.
+    # None of these are called from the per-cycle hot path; the engine's
+    # EngineSampler invokes them every K cycles when tracing is enabled.
+    # ------------------------------------------------------------------
+    def channel_flit_totals(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cumulative ``flits_sent`` per switch channel (local, global).
+
+        Array order is the deterministic channel-insertion order, so an
+        element-wise difference of two snapshots is the per-channel flit
+        count of the interval between them (the sampler's utilization).
+        """
+        local = []
+        glob = []
+        for channel in self.channels.values():
+            if channel.is_global_link:
+                glob.append(channel.flits_sent)
+            else:
+                local.append(channel.flits_sent)
+        return (
+            np.asarray(local, dtype=float),
+            np.asarray(glob, dtype=float),
+        )
+
+    def vc_occupancy(self) -> List[int]:
+        """Flits buffered per VC, summed over every router input port.
+
+        Iterates only occupied ``(port, vc)`` slots (the routers' active
+        lists), so the cost scales with buffered flits, not network size.
+        """
+        occupancy = [0] * self.num_vcs
+        num_vcs = self.num_vcs
+        for router in self.routers:
+            queues = router.queues
+            for slot in router.active:
+                occupancy[slot % num_vcs] += len(queues[slot])
+        return occupancy
+
+    def injection_backlog(self) -> int:
+        """Packets waiting in node source queues (not yet on the wire)."""
+        return sum(len(c.out_queue) for c in self.inject_channels)
+
     def quiescent(self) -> bool:
         """True when nothing is in flight and no events remain scheduled."""
         return (

@@ -8,7 +8,10 @@ latencies, speedup, VC scheme) defaults to Table 3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, Optional
+
+from repro.obs.config import ObsConfig
 
 __all__ = ["SimParams"]
 
@@ -47,6 +50,10 @@ class SimParams:
     # with repro.verify before running the engine; a failed verification
     # raises instead of simulating a broken configuration
     verify: bool = False
+    # observability switches (repro.obs): None = fully uninstrumented.
+    # Identity-neutral: excluded from spec fingerprints and cache keys
+    # (see identity_dict), because observability never changes results
+    obs: Optional[ObsConfig] = None
 
     # --- measurement (paper: 3 x 10000 warmup + 10000 measurement) ---
     warmup_windows: int = 3
@@ -75,6 +82,22 @@ class SimParams:
                 "packet_size cannot exceed buffer_size (virtual cut-through "
                 "buffers whole packets)"
             )
+
+    def identity_dict(self) -> Dict[str, Any]:
+        """The fields that define this configuration's *identity*.
+
+        ``dataclasses.asdict`` minus ``obs``: observability never changes
+        simulation results (asserted by the engine-parity tests), so it
+        is excluded from every spec fingerprint and cache key -- traced
+        and untraced runs of one point share a cache entry.
+        """
+        data = asdict(self)
+        data.pop("obs", None)
+        return data
+
+    def with_obs(self, obs: Optional[ObsConfig]) -> "SimParams":
+        """The same configuration with observability switched on/off."""
+        return replace(self, obs=obs)
 
     @property
     def warmup_cycles(self) -> int:

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.manifest import RunManifest
+    from repro.sim.routing import RoutingAlgorithm
 
 __all__ = ["StatsCollector", "SimResult"]
 
@@ -26,7 +30,13 @@ class SimResult:
     vlb_chosen: int = 0
     par_revised: int = 0
     # measurement-window channel utilization: local/global mean and max
-    channel_utilization: dict = None  # type: ignore[assignment]
+    channel_utilization: Optional[Dict[str, float]] = None
+    # provenance record (repro.obs): excluded from equality because its
+    # environment fields (timings, cache outcome) vary run to run while
+    # the measurement itself stays bit-identical
+    manifest: Optional["RunManifest"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         sat = " SAT" if self.saturated else ""
@@ -61,7 +71,7 @@ class StatsCollector:
         offered_load: float,
         measure_cycles: int,
         sat_latency: float,
-        routing=None,
+        routing: Optional["RoutingAlgorithm"] = None,
         sat_accept_factor: float = 0.90,
         live_fraction: float = 1.0,
     ) -> SimResult:

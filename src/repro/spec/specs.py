@@ -258,7 +258,9 @@ class TopologySpec:
 # Run / sweep / suite specs
 # ---------------------------------------------------------------------------
 def _params_from_dict(data: Dict[str, Any]) -> SimParams:
-    known = {f.name for f in dataclasses.fields(SimParams)}
+    # "obs" is identity-neutral (never serialized into a spec dict, see
+    # SimParams.identity_dict), so it is not accepted back either
+    known = {f.name for f in dataclasses.fields(SimParams)} - {"obs"}
     extra = set(data) - known
     if extra:
         raise SpecError(
@@ -332,7 +334,7 @@ class RunSpec:
             "load": self.load,
             "routing": self.routing,
             "policy": self.policy.to_dict() if self.policy else None,
-            "params": dataclasses.asdict(self.params),
+            "params": self.params.identity_dict(),
             "seed": self.seed,
         }
 
@@ -528,7 +530,7 @@ class SweepSpec:
             "loads": list(self.loads),
             "routing": self.routing,
             "policy": self.policy.to_dict() if self.policy else None,
-            "params": dataclasses.asdict(self.params),
+            "params": self.params.identity_dict(),
             "seed": self.seed,
             "label": self.label,
         }

@@ -47,6 +47,13 @@ PUBLIC_MODULES = [
     "repro.sim.stats",
     "repro.sim.sweep",
     "repro.sim.replication",
+    "repro.obs",
+    "repro.obs.config",
+    "repro.obs.log",
+    "repro.obs.manifest",
+    "repro.obs.metrics",
+    "repro.obs.progress",
+    "repro.obs.trace",
     "repro.spec",
     "repro.spec.registry",
     "repro.spec.builtins",

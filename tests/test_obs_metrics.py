@@ -1,0 +1,100 @@
+"""Metric-registry semantics: live instruments vs the shared no-op path."""
+
+import json
+
+from repro.obs import NULL_REGISTRY, MetricRegistry, NullRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        c = Counter("events")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("level")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_aggregates(self):
+        h = Histogram("lat")
+        assert h.mean == 0.0
+        for v in (2.0, 4.0, 9.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["sum"] == 15.0
+        assert s["mean"] == 5.0
+        assert s["min"] == 2.0
+        assert s["max"] == 9.0
+
+
+class TestMetricRegistry:
+    def test_lookup_is_memoized(self):
+        reg = MetricRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_bound_method_observes_registry_state(self):
+        # the engine binds `registry.counter(...).inc` once and calls it
+        # unconditionally; the registry must see those increments
+        reg = MetricRegistry()
+        inc = reg.counter("engine.packets").inc
+        for _ in range(7):
+            inc()
+        assert reg.snapshot()["engine.packets"] == 7
+
+    def test_names_sorted_across_kinds(self):
+        reg = MetricRegistry()
+        reg.gauge("g")
+        reg.counter("c")
+        reg.histogram("h")
+        assert reg.names() == ["c", "g", "h"]
+
+    def test_snapshot_is_json_clean(self):
+        reg = MetricRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(0.5)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        round_tripped = json.loads(json.dumps(snap))
+        assert round_tripped == snap
+        assert snap["c"] == 2
+        assert snap["g"] == 0.5
+        assert snap["h"]["count"] == 1
+
+    def test_enabled_flag(self):
+        assert MetricRegistry().enabled is True
+        assert NULL_REGISTRY.enabled is False
+
+
+class TestNullRegistry:
+    def test_shared_instruments(self):
+        # one stateless instrument per kind, shared across names
+        assert NULL_REGISTRY.counter("x") is NULL_REGISTRY.counter("y")
+        assert NULL_REGISTRY.gauge("x") is NULL_REGISTRY.gauge("y")
+        assert NULL_REGISTRY.histogram("x") is NULL_REGISTRY.histogram("y")
+
+    def test_mutators_record_nothing(self):
+        reg = NullRegistry()
+        reg.counter("c").inc(100)
+        reg.gauge("g").set(9.0)
+        reg.histogram("h").observe(1.0)
+        assert reg.counter("c").value == 0
+        assert reg.gauge("g").value == 0.0
+        assert reg.histogram("h").count == 0
+        assert reg.snapshot() == {}
+        assert reg.names() == []
+
+    def test_interface_matches_live_registry(self):
+        # instrumented code must not care which flavour it holds
+        for reg in (MetricRegistry(), NULL_REGISTRY):
+            reg.counter("c").inc()
+            reg.gauge("g").set(1.0)
+            reg.histogram("h").observe(2.0)
+            json.dumps(reg.snapshot())

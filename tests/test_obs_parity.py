@@ -1,0 +1,113 @@
+"""Observability must never change results, fingerprints, or cache keys."""
+
+import dataclasses
+
+import pytest
+
+from repro.obs import ObsConfig, capture
+from repro.perf import SimTask
+from repro.sim import SimParams, simulate
+from repro.spec import RunSpec
+from repro.topology import Dragonfly
+from repro.traffic.patterns import Shift, UniformRandom
+
+SMALL = dict(window_cycles=120, warmup_windows=1)
+
+FULL_OBS = ObsConfig(metrics=True, sample_every=25)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Dragonfly(2, 4, 2, 9)
+
+
+def _measurement_fields(result):
+    """Every SimResult field except the provenance manifest."""
+    return {
+        f.name: getattr(result, f.name)
+        for f in dataclasses.fields(result)
+        if f.name != "manifest"
+    }
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("routing", ["min", "ugal-l"])
+    def test_bit_identical_results(self, topo, routing):
+        pattern = UniformRandom(topo)
+        base = simulate(
+            topo, pattern, 0.15, routing=routing,
+            params=SimParams(**SMALL), seed=7,
+        )
+        with capture():
+            traced = simulate(
+                topo, pattern, 0.15, routing=routing,
+                params=SimParams(**SMALL, obs=FULL_OBS), seed=7,
+            )
+        assert _measurement_fields(base) == _measurement_fields(traced)
+        assert base == traced  # dataclass equality skips the manifest
+
+    def test_parity_holds_for_adversarial_pattern(self, topo):
+        base = simulate(
+            topo, Shift(topo, 1), 0.2,
+            params=SimParams(**SMALL), seed=11,
+        )
+        traced = simulate(
+            topo, Shift(topo, 1), 0.2,
+            params=SimParams(**SMALL, obs=FULL_OBS), seed=11,
+        )
+        assert _measurement_fields(base) == _measurement_fields(traced)
+
+
+class TestFingerprintNeutrality:
+    def test_identity_dict_drops_obs(self):
+        assert "obs" not in SimParams(obs=FULL_OBS).identity_dict()
+        assert (
+            SimParams(**SMALL, obs=FULL_OBS).identity_dict()
+            == SimParams(**SMALL).identity_dict()
+        )
+
+    def test_with_obs_round_trip(self):
+        params = SimParams(**SMALL)
+        traced = params.with_obs(FULL_OBS)
+        assert traced.obs is FULL_OBS
+        assert traced.with_obs(None) == params
+
+    def test_runspec_fingerprint_unchanged(self, topo):
+        pattern = UniformRandom(topo)
+
+        def spec(params):
+            return RunSpec.from_objects(
+                topo, pattern, 0.1, routing="min", params=params, seed=1
+            )
+
+        plain = spec(SimParams(**SMALL))
+        traced = spec(SimParams(**SMALL, obs=FULL_OBS))
+        assert plain.fingerprint() == traced.fingerprint()
+        assert "obs" not in plain.to_dict()["params"]
+
+    def test_cache_key_unchanged(self, topo):
+        pattern = UniformRandom(topo)
+
+        def key(params):
+            return SimTask(
+                topo, pattern, 0.1, routing="min", params=params, seed=1
+            ).key()
+
+        assert key(SimParams(**SMALL)) is not None
+        assert key(SimParams(**SMALL)) == key(
+            SimParams(**SMALL, obs=FULL_OBS)
+        )
+
+    def test_spec_rejects_serialized_obs(self):
+        from repro.spec import SpecError
+
+        spec = RunSpec.from_objects(
+            Dragonfly(2, 4, 2, 9),
+            UniformRandom(Dragonfly(2, 4, 2, 9)),
+            0.1,
+            params=SimParams(**SMALL),
+        )
+        data = spec.to_dict()
+        data["params"]["obs"] = {"metrics": True}
+        with pytest.raises(SpecError, match="obs"):
+            RunSpec.from_dict(data)

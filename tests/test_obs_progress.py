@@ -1,0 +1,100 @@
+"""ProgressReporter heartbeats, throttling, and ETA semantics."""
+
+import io
+
+from repro.obs import ProgressReporter
+
+
+def _fake_clock(step=1.0):
+    state = {"t": -step}
+
+    def clock():
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+def _reporter(interval=10.0, step=1.0):
+    stream = io.StringIO()
+    reporter = ProgressReporter(
+        label="test", interval=interval, stream=stream,
+        clock=_fake_clock(step),
+    )
+    return reporter, stream
+
+
+class TestHeartbeats:
+    def test_lines_carry_counts_and_label(self):
+        reporter, stream = _reporter(interval=0.0)
+        reporter.start(3)
+        for _ in range(3):
+            reporter.advance()
+        reporter.finish()
+        lines = stream.getvalue().strip().splitlines()
+        assert all(line.startswith("[test]") for line in lines)
+        assert "3/3 done" in lines[-1]
+
+    def test_throttled_to_interval(self):
+        # clock ticks 1s per call, interval 10s: the first advance emits
+        # (initial heartbeat), then only the final one (done == total)
+        reporter, stream = _reporter(interval=10.0)
+        reporter.start(5)
+        for _ in range(5):
+            reporter.advance()
+        emitted = stream.getvalue().count("\n")
+        assert emitted < 5
+        assert reporter.lines_emitted == emitted
+
+    def test_cache_hits_reported(self):
+        reporter, stream = _reporter(interval=0.0)
+        reporter.start(2)
+        reporter.advance(cache_hit=True)
+        reporter.advance()
+        assert "1 cache hit" in stream.getvalue()
+
+
+class TestEta:
+    def test_eta_excludes_cache_hits(self):
+        reporter, _ = _reporter(interval=1000.0)
+        reporter.start(10)
+        # 4 clock ticks consumed: start + three advances below
+        reporter.advance(cache_hit=True)
+        reporter.advance(cache_hit=True)
+        reporter.advance()  # the only computed point
+        eta = reporter.eta_seconds()
+        assert eta is not None
+        # rate is computed-points / elapsed, not done / elapsed: with
+        # hits counted the estimate would be ~3x smaller
+        assert eta > (10 - 3) / (3 / 1.0)
+
+    def test_no_eta_without_computed_points(self):
+        reporter, _ = _reporter()
+        reporter.start(4)
+        reporter.advance(cache_hit=True)
+        assert reporter.eta_seconds() is None
+
+    def test_no_eta_when_done(self):
+        reporter, _ = _reporter(interval=0.0)
+        reporter.start(1)
+        reporter.advance()
+        assert reporter.eta_seconds() is None
+
+
+class TestFinish:
+    def test_early_end_stays_quiet(self):
+        reporter, stream = _reporter(interval=1000.0)
+        reporter.start(5)
+        reporter.advance()
+        before = stream.getvalue()
+        reporter.finish()  # batch aborted: no misleading final line
+        assert stream.getvalue() == before
+
+    def test_restart_resets_counters(self):
+        reporter, _ = _reporter(interval=0.0)
+        reporter.start(2)
+        reporter.advance(cache_hit=True)
+        reporter.start(3)
+        assert reporter.done == 0
+        assert reporter.cache_hits == 0
+        assert reporter.total == 3
