@@ -1,0 +1,113 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline entry matches findings by ``(rule, path, stripped source
+line)`` with a count -- line numbers are deliberately not part of the
+identity, so edits elsewhere in a file never un-baseline a grandfathered
+finding, while any change to the flagged line itself (the thing that
+could fix *or* worsen it) surfaces the finding again.
+
+``python -m repro analyze --write-baseline`` regenerates the file from
+the current active findings; entries that no longer match anything are
+reported as stale so the baseline only ever shrinks by review.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Any, Dict, List, Tuple
+
+from repro.analyze.findings import Finding
+from repro.analyze.registry import AnalyzeError
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "apply_baseline",
+    "load_baseline",
+    "save_baseline",
+]
+
+BASELINE_FORMAT = 1
+
+_Key = Tuple[str, str, str]  # (rule, path, context)
+
+
+def _key(entry: Dict[str, Any]) -> _Key:
+    return (
+        str(entry.get("rule", "")),
+        str(entry.get("path", "")),
+        str(entry.get("context", "")),
+    )
+
+
+def load_baseline(path: str) -> List[Dict[str, Any]]:
+    """The committed baseline entries ([] when the file is absent)."""
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise AnalyzeError(f"cannot read baseline {path!r}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("format") != BASELINE_FORMAT:
+        raise AnalyzeError(
+            f"baseline {path!r} has unsupported format "
+            f"{data.get('format') if isinstance(data, dict) else data!r}"
+        )
+    entries = data.get("entries", [])
+    if not isinstance(entries, list):
+        raise AnalyzeError(f"baseline {path!r}: 'entries' is not a list")
+    return entries
+
+
+def save_baseline(path: str, findings: List[Finding]) -> None:
+    """Write the current active findings as the new baseline."""
+    counts: Counter = Counter(
+        (f.rule, f.path, f.context) for f in findings
+    )
+    entries = [
+        {"rule": rule, "path": fpath, "context": context, "count": count}
+        for (rule, fpath, context), count in sorted(counts.items())
+    ]
+    with open(path, "w") as fh:
+        json.dump(
+            {"format": BASELINE_FORMAT, "entries": entries},
+            fh,
+            indent=2,
+            sort_keys=True,
+        )
+        fh.write("\n")
+
+
+def apply_baseline(
+    findings: List[Finding], entries: List[Dict[str, Any]]
+) -> Tuple[List[Finding], List[Finding], List[Dict[str, Any]]]:
+    """Split findings into (active, baselined) and spot stale entries.
+
+    Each entry absorbs up to ``count`` matching findings; everything it
+    cannot absorb stays active (a regression past the grandfathered
+    count is a real new finding).
+    """
+    budget: Dict[_Key, int] = {}
+    for entry in entries:
+        budget[_key(entry)] = budget.get(_key(entry), 0) + int(
+            entry.get("count", 1)
+        )
+    active: List[Finding] = []
+    baselined: List[Finding] = []
+    consumed: Counter = Counter()
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.context)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            consumed[key] += 1
+            baselined.append(finding)
+        else:
+            active.append(finding)
+    stale = [
+        entry
+        for entry in entries
+        if consumed[_key(entry)] == 0
+    ]
+    return active, baselined, stale

@@ -1,0 +1,227 @@
+"""Cache-identity rules (CACHE2xx): honest fingerprints, classified fields.
+
+Every cached result in this repo is addressed by a spec fingerprint
+(:mod:`repro.spec.specs`) or a :meth:`SimParams.identity_dict`.  A field
+that silently misses the serialization -- or one that should have been
+excluded but leaks in -- makes cache keys lie: stale results resurface,
+or identical runs stop sharing entries.  These rules force every field
+to be *classified*: identity-bearing (serialized) or identity-neutral
+(marked ``# repro: identity-neutral`` and excluded), and pin the whole
+surface against a committed snapshot so drift requires an explicit
+``CACHE_VERSION``/``SPEC_VERSION`` bump plus snapshot regeneration.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Iterator, List
+
+from repro.analyze.context import ProjectContext
+from repro.analyze.findings import Finding
+from repro.analyze.registry import ANALYZE_RULES, rule
+from repro.analyze.snapshot import (
+    identity_classes,
+    identity_surface,
+    load_snapshot,
+)
+
+__all__: List[str] = []
+
+
+# ---------------------------------------------------------------------------
+# CACHE201: identity_dict classes (SimParams-style)
+# ---------------------------------------------------------------------------
+@rule(
+    "CACHE201",
+    "params-identity-classification",
+    family="cache-identity",
+    severity="error",
+    summary=(
+        "a class with identity_dict() must classify every field: "
+        "identity-neutral fields are marked '# repro: identity-neutral' "
+        "and popped; everything else stays in the identity dict"
+    ),
+    hint=(
+        "either serialize the field (identity-bearing) or mark its "
+        "definition '# repro: identity-neutral' AND pop it in "
+        "identity_dict(); then bump CACHE_VERSION and regenerate the "
+        "snapshot"
+    ),
+    scope="project",
+)
+def check_identity_dict_classes(ctx: ProjectContext) -> Iterator[Finding]:
+    entry = ANALYZE_RULES.get("CACHE201")
+    for unit, cls, info in identity_classes(ctx):
+        if info["mode"] != "identity_dict":
+            continue
+        fields = set(info["fields"])
+        popped = set(info["popped"])
+        neutral = set(info["neutral"])
+        field_lines: Dict[str, int] = info["field_lines"]
+        for name in sorted(popped - fields):
+            yield entry.finding(
+                unit.path, cls.lineno,
+                f"{cls.name}.identity_dict() pops {name!r}, which is "
+                f"not a field of the class",
+                context=unit.line_text(cls.lineno),
+            )
+        for name in sorted(neutral - popped):
+            line = field_lines.get(name, cls.lineno)
+            yield entry.finding(
+                unit.path, line,
+                f"{cls.name}.{name} is marked identity-neutral but "
+                f"identity_dict() does not pop it: the field leaks "
+                f"into cache keys",
+                context=unit.line_text(line),
+            )
+        for name in sorted((popped & fields) - neutral):
+            line = field_lines.get(name, cls.lineno)
+            yield entry.finding(
+                unit.path, line,
+                f"{cls.name}.{name} is popped from identity_dict() but "
+                f"its definition is not marked "
+                f"'# repro: identity-neutral': classify the field "
+                f"explicitly",
+                context=unit.line_text(line),
+            )
+
+
+# ---------------------------------------------------------------------------
+# CACHE202: fingerprint-bearing spec classes
+# ---------------------------------------------------------------------------
+@rule(
+    "CACHE202",
+    "spec-field-serialization",
+    family="cache-identity",
+    severity="error",
+    summary=(
+        "every field of a fingerprint-bearing dataclass must reach "
+        "to_dict() (identity-bearing), be serialized under a declared "
+        "'# repro: identity-key[NAME]' alias, or be marked "
+        "identity-neutral and stay out"
+    ),
+    hint=(
+        "serialize the field in to_dict(), or mark it "
+        "'# repro: identity-neutral' / '# repro: identity-key[NAME]'; "
+        "identity changes also need a SPEC_VERSION/CACHE_VERSION bump"
+    ),
+    scope="project",
+)
+def check_spec_serialization(ctx: ProjectContext) -> Iterator[Finding]:
+    entry = ANALYZE_RULES.get("CACHE202")
+    for unit, cls, info in identity_classes(ctx):
+        if info["mode"] != "fingerprint":
+            continue
+        if not info.get("has_to_dict", False):
+            yield entry.finding(
+                unit.path, cls.lineno,
+                f"{cls.name} defines fingerprint() but no to_dict(): "
+                f"its identity surface cannot be audited",
+                context=unit.line_text(cls.lineno),
+            )
+            continue
+        keys = set(info["keys"])
+        neutral = set(info["neutral"])
+        aliases: Dict[str, str] = info["aliases"]
+        field_lines: Dict[str, int] = info["field_lines"]
+        for name in info["fields"]:
+            line = field_lines.get(name, cls.lineno)
+            context = unit.line_text(line)
+            serialized_as = aliases.get(name, name)
+            if name in neutral:
+                if serialized_as in keys:
+                    yield entry.finding(
+                        unit.path, line,
+                        f"{cls.name}.{name} is marked identity-neutral "
+                        f"but to_dict() serializes {serialized_as!r}",
+                        context=context,
+                    )
+                continue
+            if serialized_as not in keys:
+                yield entry.finding(
+                    unit.path, line,
+                    f"{cls.name}.{name} never reaches to_dict(): the "
+                    f"field is invisible to fingerprint() and cache "
+                    f"keys",
+                    context=context,
+                )
+
+
+# ---------------------------------------------------------------------------
+# CACHE203: surface drift vs. the committed snapshot
+# ---------------------------------------------------------------------------
+def _diff_class(
+    name: str, old: Dict[str, Any], new: Dict[str, Any]
+) -> List[str]:
+    problems: List[str] = []
+    for part in ("mode", "keys", "neutral"):
+        if old.get(part) != new.get(part):
+            problems.append(
+                f"{name}: {part} changed {old.get(part)!r} -> "
+                f"{new.get(part)!r}"
+            )
+    return problems
+
+
+@rule(
+    "CACHE203",
+    "identity-snapshot-drift",
+    family="cache-identity",
+    severity="error",
+    summary=(
+        "the identity surface (spec to_dict keys, identity_dict fields, "
+        "CACHE_VERSION/SPEC_VERSION) drifted from the committed "
+        "snapshot -- cached results would be silently mis-keyed"
+    ),
+    hint=(
+        "if the change is intentional: bump CACHE_VERSION (and "
+        "SPEC_VERSION when spec semantics changed), then run "
+        "'python -m repro analyze --update-snapshot' and commit the "
+        "refreshed identity_snapshot.json"
+    ),
+    scope="project",
+)
+def check_snapshot_drift(ctx: ProjectContext) -> Iterator[Finding]:
+    entry = ANALYZE_RULES.get("CACHE203")
+    surface = identity_surface(ctx)
+    if not surface["classes"] and not surface["versions"]:
+        return  # nothing identity-bearing in this tree: nothing to pin
+    path = ctx.config.resolved_snapshot_path()
+    rel = os.path.relpath(path, ctx.config.root)
+    snapshot = load_snapshot(path)
+    if snapshot is None:
+        yield entry.finding(
+            rel, 0,
+            "no committed identity snapshot: run 'python -m repro "
+            "analyze --update-snapshot' and commit the result",
+        )
+        return
+    versions_changed = snapshot.get("versions") != surface["versions"]
+    old_classes = snapshot.get("classes", {})
+    new_classes = surface["classes"]
+    problems: List[str] = []
+    for name in sorted(set(old_classes) | set(new_classes)):
+        if name not in new_classes:
+            problems.append(f"{name}: identity-bearing class disappeared")
+        elif name not in old_classes:
+            problems.append(f"{name}: new identity-bearing class")
+        else:
+            problems.extend(
+                _diff_class(name, old_classes[name], new_classes[name])
+            )
+    if versions_changed:
+        old_v, new_v = snapshot.get("versions"), surface["versions"]
+        problems.append(f"versions changed {old_v!r} -> {new_v!r}")
+    if not problems:
+        return
+    drifted_without_bump = problems and not versions_changed
+    for problem in problems:
+        yield entry.finding(
+            rel, 0,
+            problem
+            + (
+                " (without a CACHE_VERSION/SPEC_VERSION bump)"
+                if drifted_without_bump
+                else ""
+            ),
+        )

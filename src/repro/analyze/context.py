@@ -1,0 +1,227 @@
+"""Parsed source units and the shared project context rules check.
+
+A :class:`ModuleUnit` is one parsed source file: repo-relative path,
+dotted module name, source lines, AST, and the ``# repro:`` control
+comments it carries.  A :class:`ProjectContext` bundles every unit of
+one run plus the :class:`AnalyzeConfig`, so project-scope rules (cache
+identity, registry hygiene) can cross-reference modules.
+
+Control comments (all audited by the engine):
+
+* ``# repro: allow[RULE]: reason`` -- suppress RULE's findings on this
+  line (or the line directly below a comment-only line).  A missing
+  reason is an ANA002 error; a suppression that never fires is ANA001.
+* ``# repro: identity-neutral`` -- marks a dataclass field as excluded
+  from cache identity (checked by CACHE201/CACHE202).
+* ``# repro: identity-key[NAME]`` -- the field is serialized under the
+  key ``NAME`` rather than its own name (checked by CACHE202).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "AnalyzeConfig",
+    "ModuleUnit",
+    "ProjectContext",
+    "Suppression",
+    "module_name_for",
+]
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]\s*(?::\s*(.*\S))?\s*$"
+)
+_NEUTRAL_RE = re.compile(r"#\s*repro:\s*identity-neutral\b")
+_IDENTITY_KEY_RE = re.compile(r"#\s*repro:\s*identity-key\[([\w.]+)\]")
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: allow[...]`` comment."""
+
+    line: int  # 1-based line the comment sits on
+    codes: Tuple[str, ...]
+    reason: str  # empty = unjustified (ANA002)
+    used: Set[str] = field(default_factory=set)
+
+    def allows(self, code: str) -> bool:
+        return code in self.codes
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name of a repo-relative path, best effort.
+
+    Strips a leading ``src/`` component (the repo's package root), so
+    ``src/repro/sim/params.py`` -> ``repro.sim.params``.  Paths outside
+    a package root still get a stable dotted name from their components.
+    """
+    parts = rel_path.replace(os.sep, "/").split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p)
+
+
+@dataclass
+class ModuleUnit:
+    """One parsed source file."""
+
+    path: str  # repo-relative posix path
+    source: str
+    tree: Optional[ast.Module]  # None when the file does not parse
+    syntax_error: Optional[str] = None
+    lines: List[str] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+    _comments: Dict[int, str] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+        if not self._comments:
+            self._comments = _comment_tokens(self.source)
+        if not self.suppressions:
+            self.suppressions = [
+                Suppression(line=line, codes=codes, reason=reason)
+                for line, text in sorted(self._comments.items())
+                for codes, reason in _parse_allow(text)
+            ]
+
+    @property
+    def module(self) -> str:
+        return module_name_for(self.path)
+
+    def line_text(self, line: int) -> str:
+        """The stripped source text of a 1-based line ('' out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def suppression_for(self, code: str, line: int) -> Optional[Suppression]:
+        """The allow-comment covering ``code`` at ``line``, if any.
+
+        A suppression covers its own line (trailing-comment form) and,
+        when it sits on a comment-only line, the first code line after
+        its contiguous comment block -- so a wrapped multi-line
+        justification still covers the statement below it.
+        """
+        for sup in self.suppressions:
+            if not sup.allows(code):
+                continue
+            if sup.line == line:
+                return sup
+            if self._comment_block_target(sup.line) == line:
+                return sup
+        return None
+
+    def _comment_block_target(self, line: int) -> Optional[int]:
+        """The code line a comment-only line's block attaches to."""
+        if not self.line_text(line).startswith("#"):
+            return None  # trailing comment: covers only its own line
+        current = line + 1
+        while current <= len(self.lines):
+            text = self.line_text(current)
+            if not text.startswith("#"):
+                return current if text else None
+            current += 1
+        return None
+
+    def comment_text(self, line: int) -> str:
+        """The comment on a 1-based line ('' when there is none).
+
+        Comes from real COMMENT tokens, so ``# repro:`` markers quoted
+        inside strings or docstrings never count.
+        """
+        return self._comments.get(line, "")
+
+    def field_markers(self, line: int) -> Tuple[bool, Optional[str]]:
+        """(identity-neutral?, identity-key alias) markers on a line."""
+        text = self.comment_text(line)
+        neutral = _NEUTRAL_RE.search(text) is not None
+        key_match = _IDENTITY_KEY_RE.search(text)
+        return neutral, key_match.group(1) if key_match else None
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ModuleUnit":
+        try:
+            tree: Optional[ast.Module] = ast.parse(source)
+            err: Optional[str] = None
+        except SyntaxError as exc:
+            tree, err = None, f"{exc.msg} (line {exc.lineno})"
+        return cls(path=path, source=source, tree=tree, syntax_error=err)
+
+
+def _comment_tokens(source: str) -> Dict[int, str]:
+    """1-based line -> comment text, from real COMMENT tokens only."""
+    comments: Dict[int, str] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # unparseable tail: keep whatever tokenized cleanly
+    return comments
+
+
+def _parse_allow(text: str) -> List[Tuple[Tuple[str, ...], str]]:
+    match = _ALLOW_RE.search(text)
+    if match is None:
+        return []
+    codes = tuple(
+        c.strip().upper() for c in match.group(1).split(",") if c.strip()
+    )
+    reason = match.group(2) or ""
+    return [(codes, reason)] if codes else []
+
+
+@dataclass
+class AnalyzeConfig:
+    """Knobs of one analysis run."""
+
+    root: str = "."
+    paths: Tuple[str, ...] = ("src",)
+    rules: Optional[Tuple[str, ...]] = None  # None = every rule
+    baseline_path: Optional[str] = None  # None = no baseline
+    snapshot_path: Optional[str] = None  # None = the packaged default
+    exclude: Tuple[str, ...] = ("__pycache__",)
+
+    def resolved_snapshot_path(self) -> str:
+        if self.snapshot_path is not None:
+            return self.snapshot_path
+        return os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "identity_snapshot.json",
+        )
+
+
+@dataclass
+class ProjectContext:
+    """Every unit of one run plus the run configuration."""
+
+    config: AnalyzeConfig
+    units: List[ModuleUnit] = field(default_factory=list)
+    _by_module: Dict[str, ModuleUnit] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self._by_module:
+            self._by_module = {u.module: u for u in self.units}
+
+    def unit(self, module: str) -> Optional[ModuleUnit]:
+        return self._by_module.get(module)
+
+    def iter_parsed(self) -> Iterator[ModuleUnit]:
+        """Units whose source parsed (rules skip syntax-error files)."""
+        for unit in self.units:
+            if unit.tree is not None:
+                yield unit

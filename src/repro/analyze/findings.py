@@ -1,0 +1,147 @@
+"""Finding records and the aggregate analysis report.
+
+Mirrors the conventions of :mod:`repro.verify.report`: each rule yields
+structured :class:`Finding` records (rule code, severity, location,
+message, fix-it hint) instead of raising, so one run reports every
+violation at once, and the aggregate :class:`AnalyzeReport` renders as
+text or JSON and decides pass/fail against a ``--fail-on`` threshold.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["AnalyzeReport", "Finding", "SEVERITIES"]
+
+# ordered weakest-first; "error" always fails, "warning" fails under
+# --fail-on warning, "none" disables the gate entirely
+SEVERITIES = ("warning", "error")
+
+# a broken tree can produce hundreds of findings; keep the text rendering
+# readable (to_dict/to_json always carry everything)
+_MAX_RENDERED_FINDINGS = 50
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis diagnostic."""
+
+    rule: str  # e.g. "DET101"
+    severity: str  # "error" | "warning"
+    path: str  # repo-relative posix path
+    line: int  # 1-based; 0 = whole file
+    message: str
+    hint: str = ""  # fix-it hint (rule default unless overridden)
+    context: str = ""  # stripped source line (baseline matching key)
+
+    def __str__(self) -> str:
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        text = f"[{self.severity}] {self.rule} {where}: {self.message}"
+        if self.hint:
+            text += f"  (hint: {self.hint})"
+        return text
+
+    def location_key(self) -> Dict[str, Any]:
+        """The drift-tolerant identity used for baseline matching.
+
+        Line numbers are deliberately excluded: an unrelated edit above a
+        grandfathered finding must not un-baseline it.  The stripped
+        source line disambiguates findings that moved.
+        """
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "context": self.context,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+            "context": self.context,
+        }
+
+
+@dataclass
+class AnalyzeReport:
+    """Everything one analysis run established."""
+
+    root: str
+    findings: List[Finding]  # active (not baselined, not suppressed)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    stale_baseline: List[Dict[str, Any]] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def passed(self, fail_on: str = "error") -> bool:
+        """Whether the run clears the ``fail_on`` severity threshold."""
+        if fail_on == "none":
+            return True
+        if fail_on == "warning":
+            return not self.findings
+        return not self.errors
+
+    def to_text(self, fail_on: str = "error") -> str:
+        lines = [
+            f"repro.analyze -- {self.files_checked} file(s), "
+            f"{len(self.rules_run)} rule(s)"
+        ]
+        shown = self.findings[:_MAX_RENDERED_FINDINGS]
+        lines.extend(f"  {f}" for f in shown)
+        omitted = len(self.findings) - len(shown)
+        if omitted:
+            lines.append(
+                f"  ... {omitted} more finding(s) omitted "
+                f"(JSON output carries all of them)"
+            )
+        lines.append(
+            f"  {len(self.errors)} error(s), {len(self.warnings)} "
+            f"warning(s); {len(self.baselined)} baselined, "
+            f"{len(self.suppressed)} suppressed"
+        )
+        if self.stale_baseline:
+            lines.append(
+                f"  note: {len(self.stale_baseline)} stale baseline "
+                f"entr{'y' if len(self.stale_baseline) == 1 else 'ies'} "
+                f"no longer match (refresh with --write-baseline):"
+            )
+            for entry in self.stale_baseline[:10]:
+                lines.append(
+                    f"    {entry.get('rule')} {entry.get('path')}: "
+                    f"{entry.get('context', '')!r}"
+                )
+        lines.append(
+            f"RESULT: {'PASS' if self.passed(fail_on) else 'FAIL'}"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "root": self.root,
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "stale_baseline": list(self.stale_baseline),
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

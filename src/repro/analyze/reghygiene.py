@@ -1,0 +1,198 @@
+"""Registry-hygiene rules (REG3xx): specs stay the one construction path.
+
+:mod:`repro.verify.registry` already certifies that every *registered*
+kind parses, builds, and round-trips.  These rules extend that check to
+the call sites: a registered class must ship a codec (or its live
+objects cannot be fingerprinted and every run using them is
+uncacheable), and seed-bearing registered classes should be built
+through their registry spec rather than ad hoc, so seeds and cache
+identity stay declarative.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analyze.context import ModuleUnit, ProjectContext
+from repro.analyze.findings import Finding
+from repro.analyze.registry import ANALYZE_RULES, rule
+
+__all__: List[str] = []
+
+
+@dataclass(frozen=True)
+class _RegisteredClass:
+    """One ``cls=`` binding found in a ``RegistryEntry(...)`` call."""
+
+    name: str
+    registering_module: str
+    line: int
+    has_to_dict: bool
+    has_parse: bool
+
+
+def _registry_entry_calls(
+    ctx: ProjectContext,
+) -> Iterator[tuple[ModuleUnit, ast.Call]]:
+    for unit in ctx.iter_parsed():
+        assert unit.tree is not None
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name == "RegistryEntry":
+                yield unit, node
+
+
+def _registered_classes(ctx: ProjectContext) -> List[_RegisteredClass]:
+    found: List[_RegisteredClass] = []
+    for unit, call in _registry_entry_calls(ctx):
+        kwargs = {kw.arg for kw in call.keywords if kw.arg}
+        cls_expr: Optional[ast.expr] = None
+        for kw in call.keywords:
+            if kw.arg == "cls":
+                cls_expr = kw.value
+        if cls_expr is None or not isinstance(cls_expr, ast.Name):
+            continue  # dynamic cls (helper loops): call sites untraceable
+        found.append(
+            _RegisteredClass(
+                name=cls_expr.id,
+                registering_module=unit.module,
+                line=call.lineno,
+                has_to_dict="to_dict" in kwargs,
+                has_parse="parse" in kwargs,
+            )
+        )
+    return found
+
+
+def _class_defs(
+    ctx: ProjectContext,
+) -> Dict[str, tuple[ModuleUnit, ast.ClassDef]]:
+    defs: Dict[str, tuple[ModuleUnit, ast.ClassDef]] = {}
+    for unit in ctx.iter_parsed():
+        assert unit.tree is not None
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.ClassDef):
+                defs.setdefault(node.name, (unit, node))
+    return defs
+
+
+def _init_has_seed(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+            args = stmt.args
+            names = [a.arg for a in args.args + args.kwonlyargs]
+            return "seed" in names
+    return False
+
+
+def _package(module: str) -> str:
+    return module.rsplit(".", 1)[0] if "." in module else module
+
+
+# ---------------------------------------------------------------------------
+# REG301: ad-hoc construction of seed-bearing registered classes
+# ---------------------------------------------------------------------------
+@rule(
+    "REG301",
+    "seeded-class-outside-registry",
+    family="registry-hygiene",
+    severity="warning",
+    summary=(
+        "a seed-bearing registered pattern/policy class constructed "
+        "outside its home package bypasses the spec layer: the seed "
+        "never reaches PatternSpec.with_seed/fingerprints, so such runs "
+        "are invisible to the result cache"
+    ),
+    hint=(
+        "build it declaratively (PatternSpec.make(...).build(topo) / "
+        "PolicySpec.make(...).build()) so seed and identity stay "
+        "spec-visible"
+    ),
+    scope="project",
+)
+def check_seeded_construction(ctx: ProjectContext) -> Iterator[Finding]:
+    entry = ANALYZE_RULES.get("REG301")
+    registered = _registered_classes(ctx)
+    defs = _class_defs(ctx)
+    targets: Dict[str, Set[str]] = {}  # class name -> allowed packages
+    for reg in registered:
+        defined = defs.get(reg.name)
+        if defined is None:
+            continue
+        def_unit, def_cls = defined
+        if not _init_has_seed(def_cls):
+            continue
+        targets.setdefault(reg.name, set()).update(
+            {_package(def_unit.module), _package(reg.registering_module)}
+        )
+    if not targets:
+        return
+    for unit in ctx.iter_parsed():
+        assert unit.tree is not None
+        pkg = _package(unit.module)
+        allowed = {
+            name
+            for name, packages in targets.items()
+            if pkg in packages
+        }
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name in targets and name not in allowed:
+                yield entry.finding(
+                    unit.path, node.lineno,
+                    f"{name}(...) constructed outside its home package "
+                    f"bypasses the registry spec layer",
+                    context=unit.line_text(node.lineno),
+                )
+
+
+# ---------------------------------------------------------------------------
+# REG302: registered class without a codec
+# ---------------------------------------------------------------------------
+@rule(
+    "REG302",
+    "registry-entry-missing-codec",
+    family="registry-hygiene",
+    severity="warning",
+    summary=(
+        "a RegistryEntry registered with cls= but without a to_dict "
+        "codec: live objects of that kind cannot round-trip to a spec, "
+        "so runs using them are uncacheable and unfingerprintable"
+    ),
+    hint=(
+        "add a to_dict= codec returning the canonical args dict "
+        "(inverse of build); repro.verify.registry then certifies the "
+        "round trip"
+    ),
+    scope="project",
+)
+def check_missing_codec(ctx: ProjectContext) -> Iterator[Finding]:
+    entry = ANALYZE_RULES.get("REG302")
+    for unit, call in _registry_entry_calls(ctx):
+        kwargs = {kw.arg for kw in call.keywords if kw.arg}
+        if "cls" in kwargs and "to_dict" not in kwargs:
+            yield entry.finding(
+                unit.path, call.lineno,
+                "RegistryEntry has cls= but no to_dict= codec",
+                context=unit.line_text(call.lineno),
+            )

@@ -1,0 +1,244 @@
+"""The identity surface: what the cache keys actually cover, statically.
+
+The *identity surface* of the tree is everything that feeds
+``fingerprint()``/``identity_dict()``: the serialized key set of every
+fingerprint-bearing spec class, the kept-field set of every
+``identity_dict`` class, and the declared ``CACHE_VERSION`` /
+``SPEC_VERSION`` constants.  A committed snapshot
+(``identity_snapshot.json`` next to this module) pins that surface;
+rule CACHE203 fails when the live surface drifts from the snapshot, so
+a field silently changing identity -- the drift class that invalidates
+cached results without anyone bumping ``CACHE_VERSION`` -- is caught in
+CI instead of in a confusing stale-cache debugging session.
+
+Regenerate after an *intentional* change (new classified field + version
+bump) with ``python -m repro analyze --update-snapshot``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.analyze.context import ModuleUnit, ProjectContext
+from repro.analyze.registry import AnalyzeError
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "class_identity_info",
+    "identity_surface",
+    "load_snapshot",
+    "save_snapshot",
+]
+
+SNAPSHOT_FORMAT = 1
+
+_VERSION_NAMES = ("CACHE_VERSION", "SPEC_VERSION")
+
+
+def dataclass_fields(cls: ast.ClassDef) -> List[Tuple[str, int]]:
+    """(name, lineno) of every annotated field in a class body.
+
+    ``ClassVar`` annotations and leading-underscore internals are not
+    identity material and are skipped.
+    """
+    fields: List[Tuple[str, int]] = []
+    for stmt in cls.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        if "ClassVar" in ast.unparse(stmt.annotation):
+            continue
+        if stmt.target.id.startswith("_"):
+            continue
+        fields.append((stmt.target.id, stmt.lineno))
+    return fields
+
+
+def method_def(
+    cls: ast.ClassDef, name: str
+) -> Optional[ast.FunctionDef]:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def serialized_keys(func: ast.FunctionDef) -> Set[str]:
+    """String keys a ``to_dict``-style method emits.
+
+    Collects constant-string keys of dict literals and of subscript
+    assignments (``data["rows"] = ...``) anywhere in the method body, so
+    conditionally-emitted keys count as part of the surface.
+    """
+    keys: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    keys.add(key.value)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    keys.add(target.slice.value)
+    return keys
+
+
+def popped_keys(func: ast.FunctionDef) -> Set[str]:
+    """Names removed via ``X.pop("name", ...)`` in a method body."""
+    popped: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "pop"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            popped.add(node.args[0].value)
+    return popped
+
+
+def class_identity_info(
+    unit: ModuleUnit, cls: ast.ClassDef
+) -> Optional[Dict[str, Any]]:
+    """The identity description of a class, or ``None`` (not identity-
+    bearing).
+
+    A class participates in the identity surface when it defines
+    ``identity_dict`` (params-style: identity = fields minus pops) or
+    both ``fingerprint`` and annotated fields (spec-style: identity =
+    the ``to_dict`` key set).
+    """
+    fields = dataclass_fields(cls)
+    identity_dict = method_def(cls, "identity_dict")
+    fingerprint = method_def(cls, "fingerprint")
+    if identity_dict is None and (fingerprint is None or not fields):
+        return None
+    neutral: List[str] = []
+    aliases: Dict[str, str] = {}
+    for name, lineno in fields:
+        is_neutral, alias = unit.field_markers(lineno)
+        if is_neutral:
+            neutral.append(name)
+        if alias is not None:
+            aliases[name] = alias
+    info: Dict[str, Any] = {
+        "module": unit.module,
+        "path": unit.path,
+        "line": cls.lineno,
+        "fields": sorted(name for name, _ in fields),
+        "field_lines": {name: lineno for name, lineno in fields},
+        "neutral": sorted(neutral),
+        "aliases": aliases,
+    }
+    if identity_dict is not None:
+        info["mode"] = "identity_dict"
+        info["popped"] = sorted(popped_keys(identity_dict))
+        info["keys"] = sorted(
+            name
+            for name, _ in fields
+            if name not in popped_keys(identity_dict)
+        )
+    else:
+        assert fingerprint is not None
+        info["mode"] = "fingerprint"
+        to_dict = method_def(cls, "to_dict")
+        info["keys"] = (
+            sorted(serialized_keys(to_dict)) if to_dict is not None else []
+        )
+        info["has_to_dict"] = to_dict is not None
+    return info
+
+
+def identity_classes(
+    ctx: ProjectContext,
+) -> List[Tuple[ModuleUnit, ast.ClassDef, Dict[str, Any]]]:
+    """Every identity-bearing class of the tree, with its description."""
+    found: List[Tuple[ModuleUnit, ast.ClassDef, Dict[str, Any]]] = []
+    for unit in ctx.iter_parsed():
+        assert unit.tree is not None
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = class_identity_info(unit, node)
+            if info is not None:
+                found.append((unit, node, info))
+    return found
+
+
+def version_constants(ctx: ProjectContext) -> Dict[str, int]:
+    """Module-qualified CACHE_VERSION/SPEC_VERSION constants."""
+    versions: Dict[str, int] = {}
+    for unit in ctx.iter_parsed():
+        assert unit.tree is not None
+        for stmt in unit.tree.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in _VERSION_NAMES
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, int)
+                ):
+                    versions[f"{unit.module}.{target.id}"] = (
+                        stmt.value.value
+                    )
+    return versions
+
+
+def identity_surface(ctx: ProjectContext) -> Dict[str, Any]:
+    """The comparable identity surface of the analyzed tree."""
+    classes: Dict[str, Dict[str, Any]] = {}
+    for unit, cls, info in identity_classes(ctx):
+        classes[f"{unit.module}.{cls.name}"] = {
+            "mode": info["mode"],
+            "keys": info["keys"],
+            "neutral": info["neutral"],
+        }
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "versions": version_constants(ctx),
+        "classes": classes,
+    }
+
+
+def load_snapshot(path: str) -> Optional[Dict[str, Any]]:
+    """The committed snapshot, or ``None`` when the file is absent."""
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise AnalyzeError(
+            f"cannot read identity snapshot {path!r}: {exc}"
+        ) from exc
+    if not isinstance(data, dict) or data.get("format") != SNAPSHOT_FORMAT:
+        raise AnalyzeError(
+            f"identity snapshot {path!r} has unsupported format "
+            f"{data.get('format') if isinstance(data, dict) else data!r}"
+        )
+    return data
+
+
+def save_snapshot(path: str, surface: Dict[str, Any]) -> None:
+    with open(path, "w") as fh:
+        json.dump(surface, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -13,6 +13,9 @@ Commands:
   out over worker processes; ``--cache`` reuses on-disk results)
 * ``tvlb``   -- run Algorithm 1 and print the chosen T-VLB
 * ``verify`` -- static deadlock-freedom certification + path-set lint
+* ``analyze`` -- AST static analysis of the repro tree itself:
+  determinism, cache-identity, and registry-hygiene rules
+  (``--baseline``, ``--fail-on``, ``--update-snapshot``)
 * ``figure`` -- regenerate one of the paper's tables/figures
 * ``bench``  -- engine/sweep performance benchmarks (``BENCH_sim.json``)
 * ``obs``    -- summarize or export recorded traces (``repro.obs``):
@@ -424,6 +427,61 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from repro.analyze import (
+        ANALYZE_RULES,
+        AnalyzeConfig,
+        AnalyzeError,
+        analyze_tree,
+    )
+    from repro.analyze.baseline import save_baseline
+    from repro.analyze.engine import build_context
+    from repro.analyze.snapshot import identity_surface, save_snapshot
+
+    if args.list_rules:
+        for entry in ANALYZE_RULES:
+            print(
+                f"{entry.code}  [{entry.severity:7s}] "
+                f"{entry.family}/{entry.name}\n    {entry.summary}"
+            )
+        return 0
+    rules = (
+        tuple(r.strip() for r in args.rules.split(",") if r.strip())
+        if args.rules
+        else None
+    )
+    config = AnalyzeConfig(
+        root=args.root,
+        paths=tuple(args.paths) if args.paths else ("src",),
+        rules=rules,
+        baseline_path=args.baseline,
+        snapshot_path=args.snapshot,
+    )
+    try:
+        if args.update_snapshot:
+            path = config.resolved_snapshot_path()
+            save_snapshot(path, identity_surface(build_context(config)))
+            print(f"[wrote identity snapshot to {path}]")
+            return 0
+        report = analyze_tree(config)
+    except AnalyzeError as exc:
+        raise SystemExit(f"repro analyze: {exc}")
+    if args.write_baseline:
+        if args.baseline is None:
+            raise SystemExit("--write-baseline requires --baseline PATH")
+        save_baseline(args.baseline, report.findings)
+        print(
+            f"[wrote baseline with {len(report.findings)} finding(s) "
+            f"to {args.baseline}]"
+        )
+        return 0
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.to_text(fail_on=args.fail_on))
+    return 0 if report.passed(args.fail_on) else 1
+
+
 def _cmd_figure(args) -> int:
     from repro.experiments import run_figure
 
@@ -583,6 +641,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--out", default=None,
                    help="export output path (default trace.json)")
     p.set_defaults(func=_cmd_obs)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static analysis: determinism, cache identity, registry "
+             "hygiene (repro.analyze)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to analyze (default: src)")
+    p.add_argument("--root", default=".",
+                   help="repo root paths are reported relative to "
+                        "(default .)")
+    p.add_argument("--rules", default=None,
+                   help="comma-separated rule codes to run "
+                        "(default: every rule)")
+    p.add_argument("--baseline", default=None,
+                   help="committed baseline JSON of grandfathered "
+                        "findings")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="regenerate --baseline from the current active "
+                        "findings and exit")
+    p.add_argument("--snapshot", default=None,
+                   help="identity snapshot path (default: the packaged "
+                        "identity_snapshot.json)")
+    p.add_argument("--update-snapshot", action="store_true",
+                   help="regenerate the identity snapshot from the "
+                        "current tree and exit (after an intentional "
+                        "identity change + version bump)")
+    p.add_argument("--fail-on", default="error",
+                   choices=["error", "warning", "none"],
+                   help="severity threshold for a nonzero exit "
+                        "(default error)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("figure", help="regenerate a paper table/figure")
     p.add_argument("name", help="e.g. table2, fig06")

@@ -123,9 +123,13 @@ class PairBlock:
             src=stats.src,
             dst=stats.dst,
             min_count=stats.min_count,
+            # repro: allow[DET102]: min_usage insertion order is the
+            # deterministic path-enumeration order of pathstats
             min_idx=np.fromiter(
                 stats.min_usage.keys(), dtype=np.int64, count=len(stats.min_usage)
             ),
+            # repro: allow[DET102]: values() drawn from the same dict as
+            # keys() above; pairs stay aligned, order deterministic
             min_val=np.fromiter(
                 stats.min_usage.values(),
                 dtype=np.float64,
@@ -339,9 +343,13 @@ def build_pair_block(
         src=src,
         dst=dst,
         min_count=len(mins),
+        # repro: allow[DET102]: min_usage insertion order is the
+        # deterministic path-enumeration order of this builder
         min_idx=np.fromiter(
             min_usage.keys(), dtype=np.int64, count=len(min_usage)
         ),
+        # repro: allow[DET102]: values() drawn from the same dict as
+        # keys() above; pairs stay aligned, order deterministic
         min_val=np.fromiter(
             min_usage.values(), dtype=np.float64, count=len(min_usage)
         ),

@@ -128,6 +128,8 @@ def compute_pair_stats(
         cs = classes.setdefault(split, ClassStats())
         cs.add_path(chidx, vlb_path(topo, src, dst, desc))
     if stride > 1:
+        # repro: allow[DET102]: per-value scaling of independent entries;
+        # no cross-element accumulation, so order cannot matter
         for cs in classes.values():
             cs.count *= stride
             cs.usage = {k: v * stride for k, v in cs.usage.items()}

@@ -305,6 +305,8 @@ class Tracer:
                 max_backlog = max(max_backlog, int(event.get("backlog", 0)))
                 run = str(event.get("run", "run"))
                 runs[run] = runs.get(run, 0) + 1
+        # repro: allow[DET102]: each bucket's mean is computed from that
+        # bucket alone; iteration order cannot leak into any value
         for bucket in tasks.values():
             bucket["mean"] = (
                 bucket["total"] / bucket["count"] if bucket["count"] else 0.0

@@ -603,6 +603,8 @@ class Network:
         """
         local = []
         glob = []
+        # repro: allow[DET102]: self.channels is insertion-ordered by the
+        # deterministic topology construction; order is reproducible
         for channel in self.channels.values():
             util = channel.flits_sent / max(cycles, 1)
             (glob if channel.is_global_link else local).append(util)
@@ -629,6 +631,8 @@ class Network:
         """
         local = []
         glob = []
+        # repro: allow[DET102]: deterministic channel-insertion order is
+        # the documented contract of these snapshot arrays
         for channel in self.channels.values():
             if channel.is_global_link:
                 glob.append(channel.flits_sent)
@@ -672,6 +676,8 @@ class Network:
         for router in self.routers:
             for q in router.queues:
                 total += len(q)
+        # repro: allow[DET102]: integer occupancy total; addition order
+        # cannot change the sum
         for channel in self.channels.values():
             total += len(channel.out_queue)
         for channel in self.eject_channels:

@@ -53,7 +53,7 @@ class SimParams:
     # observability switches (repro.obs): None = fully uninstrumented.
     # Identity-neutral: excluded from spec fingerprints and cache keys
     # (see identity_dict), because observability never changes results
-    obs: Optional[ObsConfig] = None
+    obs: Optional[ObsConfig] = None  # repro: identity-neutral
 
     # --- measurement (paper: 3 x 10000 warmup + 10000 measurement) ---
     warmup_windows: int = 3

@@ -71,7 +71,10 @@ class RoutingAlgorithm:
         self.topo = network.topo
         self.variant = variant
         self.policy = policy if policy is not None else AllVlbPolicy()
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # fixed fallback seed: an OS-entropy default here would make any
+        # caller that forgets to pass the SimParams-derived rng silently
+        # nonreproducible
+        self.rng = rng if rng is not None else np.random.default_rng(0)
         self.threshold = network.params.ugal_threshold
         self.vc_scheme = network.params.vc_scheme
         self.num_vcs = network.num_vcs

@@ -71,7 +71,7 @@ class PatternSpec:
     """Declarative identity of a traffic pattern: kind + canonical args."""
 
     kind: str
-    args_json: str = "{}"
+    args_json: str = "{}"  # repro: identity-key[args]
 
     @classmethod
     def make(cls, kind: str, **args: Any) -> "PatternSpec":
@@ -122,7 +122,7 @@ class PolicySpec:
     """Declarative identity of a VLB path policy."""
 
     kind: str
-    args_json: str = "{}"
+    args_json: str = "{}"  # repro: identity-key[args]
 
     @classmethod
     def make(cls, kind: str, **args: Any) -> "PolicySpec":

@@ -220,6 +220,7 @@ class ChannelDependencyGraph:
     @property
     def num_nodes(self) -> int:
         nodes = set()
+        # repro: allow[DET101]: feeds only len(); order cannot matter
         for e in self._edges:
             nodes.add(e // self.num_node_ids)
             nodes.add(e % self.num_node_ids)
@@ -227,6 +228,8 @@ class ChannelDependencyGraph:
 
     def iter_dependencies(self) -> Iterable[Tuple[VcNode, VcNode]]:
         """Yield every dependency as ``((ch, vc), (ch, vc))`` pairs."""
+        # repro: allow[DET101]: int elements hash to themselves, so set
+        # order is value-determined and PYTHONHASHSEED-independent
         for e in self._edges:
             n1, n2 = divmod(e, self.num_node_ids)
             yield self.decode_node(n1), self.decode_node(n2)
@@ -239,6 +242,8 @@ class ChannelDependencyGraph:
         three-color iterative DFS, O(nodes + edges).
         """
         adj: Dict[int, List[int]] = {}
+        # repro: allow[DET101]: int elements hash to themselves, so set
+        # order is value-determined and PYTHONHASHSEED-independent
         for e in self._edges:
             n1, n2 = divmod(e, self.num_node_ids)
             adj.setdefault(n1, []).append(n2)

@@ -1,0 +1,13 @@
+"""Suppression misuse: unused allows and missing justifications."""
+
+# repro: allow[DET103]: stale allow -- imports never construct an RNG
+import time
+
+
+def timestamp() -> float:
+    return time.time()  # repro: allow[DET104]
+
+
+def nothing_wrong_here() -> int:
+    # repro: allow[DET101]: this loop iterates a list, not a set
+    return sum(x for x in [1, 2, 3])

@@ -1,0 +1,19 @@
+"""identity_dict() classes with unclassified fields."""
+
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Params:
+    load: float = 0.5
+    seed: int = 0
+    # popped below but not marked '# repro: identity-neutral'
+    obs: Optional[object] = None
+    # marked neutral but never popped: leaks into cache keys
+    trace_dir: Optional[str] = None  # repro: identity-neutral
+
+    def identity_dict(self) -> dict:
+        data = asdict(self)
+        data.pop("obs")
+        return data

@@ -1,0 +1,20 @@
+"""A fingerprint-bearing spec whose field never reaches to_dict()."""
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    topology: str = "4,8,4,9"
+    pattern: str = "ur"
+    # never serialized: invisible to fingerprint() and cache keys
+    load: float = 0.5
+
+    def to_dict(self) -> dict:
+        return {"topology": self.topology, "pattern": self.pattern}
+
+    def fingerprint(self) -> str:
+        blob = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()

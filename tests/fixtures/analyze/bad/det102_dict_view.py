@@ -1,0 +1,15 @@
+"""Dict-view order flowing into accumulated floats and arrays."""
+
+import numpy as np
+
+
+def mean_latency(per_class: dict) -> float:
+    total = 0.0
+    for stats in per_class.values():  # DET102: float accumulation
+        total += stats.latency / stats.count
+    return total / len(per_class)
+
+
+def usage_vector(usage: dict) -> np.ndarray:
+    # DET102: materializes view order into an array
+    return np.fromiter(usage.values(), dtype=np.float64, count=len(usage))

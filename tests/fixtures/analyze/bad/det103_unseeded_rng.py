@@ -1,0 +1,16 @@
+"""RNGs drawing entropy from the OS instead of the seed plumbing."""
+
+import random
+
+import numpy as np
+
+
+def pick_intermediate(groups):
+    rng = np.random.default_rng()  # DET103: OS entropy
+    return groups[rng.integers(len(groups))]
+
+
+def shuffle_nodes(nodes):
+    r = random.Random()  # DET103: OS entropy
+    r.shuffle(nodes)
+    return nodes

@@ -1,0 +1,14 @@
+"""Wallclock reads outside the observability layer."""
+
+import time
+
+
+def run_window(network, cycles: int) -> float:
+    start = time.perf_counter()  # DET104: not in repro.obs
+    for _ in range(cycles):
+        network.step()
+    return time.perf_counter() - start
+
+
+def stamp_result(result) -> None:
+    result.created_at = time.time()  # DET104

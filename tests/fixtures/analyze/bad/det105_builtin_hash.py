@@ -1,0 +1,5 @@
+"""``hash()`` of a str is salted by PYTHONHASHSEED: unstable across runs."""
+
+
+def shard_for(key, num_shards: int) -> int:
+    return hash(key) % num_shards  # DET105: run-dependent for strings

@@ -1,0 +1,19 @@
+"""A seed-bearing registered pattern class (home package)."""
+
+
+class RegistryEntry:
+    def __init__(self, kind, cls, to_dict=None):
+        self.kind = kind
+        self.cls = cls
+        self.to_dict = to_dict
+
+
+class RandomPerm:
+    def __init__(self, num_nodes: int, seed: int = 0) -> None:
+        self.num_nodes = num_nodes
+        self.seed = seed
+
+
+ENTRY = RegistryEntry(
+    kind="perm", cls=RandomPerm, to_dict=lambda p: {"seed": p.seed}
+)

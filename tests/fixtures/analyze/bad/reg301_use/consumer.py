@@ -1,0 +1,7 @@
+"""Ad-hoc construction outside the home package: seed bypasses specs."""
+
+from ..reg301_pkg.defs import RandomPerm
+
+
+def make_pattern(num_nodes: int):
+    return RandomPerm(num_nodes, seed=42)  # REG301: bypasses the spec

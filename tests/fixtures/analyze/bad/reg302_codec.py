@@ -1,0 +1,16 @@
+"""A registered class without a to_dict codec: uncacheable kind."""
+
+
+class RegistryEntry:
+    def __init__(self, kind, cls, to_dict=None):
+        self.kind = kind
+        self.cls = cls
+        self.to_dict = to_dict
+
+
+class ShiftPattern:
+    def __init__(self, delta_group: int) -> None:
+        self.delta_group = delta_group
+
+
+ENTRY = RegistryEntry(kind="shift", cls=ShiftPattern)  # REG302: no codec

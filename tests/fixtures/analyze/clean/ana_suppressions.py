@@ -1,0 +1,8 @@
+"""Well-formed suppressions: justified, and each one actually fires."""
+
+import time
+
+
+def timestamp() -> float:
+    # repro: allow[DET104]: fixture exercising a justified suppression
+    return time.time()

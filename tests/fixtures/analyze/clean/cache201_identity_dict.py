@@ -1,0 +1,16 @@
+"""Every field classified: neutral fields marked AND popped."""
+
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Params:
+    load: float = 0.5
+    seed: int = 0
+    obs: Optional[object] = None  # repro: identity-neutral
+
+    def identity_dict(self) -> dict:
+        data = asdict(self)
+        data.pop("obs")
+        return data

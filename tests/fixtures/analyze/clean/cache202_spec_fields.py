@@ -1,0 +1,27 @@
+"""Every spec field serialized, aliased, or declared neutral."""
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    topology: str = "4,8,4,9"
+    pattern: str = "ur"
+    load: float = 0.5
+    args_json: str = "{}"  # repro: identity-key[args]
+    note: Optional[str] = None  # repro: identity-neutral
+
+    def to_dict(self) -> dict:
+        return {
+            "topology": self.topology,
+            "pattern": self.pattern,
+            "load": self.load,
+            "args": json.loads(self.args_json),
+        }
+
+    def fingerprint(self) -> str:
+        blob = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,26 @@
+"""The fixed ``_busy_channels`` idiom: insertion-ordered dict-as-set."""
+
+from typing import Dict, List
+
+
+class FastNetwork:
+    def __init__(self) -> None:
+        # insertion-ordered for run-to-run determinism
+        self._busy_channels: Dict[object, None] = {}
+        self.inject_channels: List[object] = []
+
+    def inject(self, packet, channel) -> None:
+        self._busy_channels[channel] = None
+
+    def _transmit(self) -> None:
+        done = []
+        for channel in self._busy_channels:  # insertion order
+            if not channel.out_queue:
+                done.append(channel)
+        for channel in done:
+            self._busy_channels.pop(channel, None)
+
+    def num_ready(self, candidates) -> int:
+        # neutral consumers of a set are fine: order cannot escape
+        ready = {c for c in candidates if c.ready}
+        return len(ready) + sum(1 for _ in sorted(ready, key=id))

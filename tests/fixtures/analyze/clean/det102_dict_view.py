@@ -1,0 +1,22 @@
+"""Order-safe dict consumption: sorted items, neutral consumers."""
+
+import numpy as np
+
+
+def mean_latency(per_class: dict) -> float:
+    total = 0.0
+    for _, stats in sorted(per_class.items()):
+        total += stats.latency / stats.count
+    return total / len(per_class)
+
+
+def usage_vector(usage: dict) -> np.ndarray:
+    keys = sorted(usage)
+    return np.asarray([usage[k] for k in keys], dtype=np.float64)
+
+
+def reset_counters(channels: dict) -> int:
+    # plain per-element mutation carries no order dependence
+    for channel in channels.values():
+        channel.flits_sent = 0
+    return len(channels)

@@ -1,0 +1,16 @@
+"""Seeded RNGs threaded from the params layer."""
+
+import random
+
+import numpy as np
+
+
+def pick_intermediate(groups, seed: int):
+    rng = np.random.default_rng(seed)
+    return groups[rng.integers(len(groups))]
+
+
+def shuffle_nodes(nodes, seed: int):
+    r = random.Random(seed)
+    r.shuffle(nodes)
+    return nodes

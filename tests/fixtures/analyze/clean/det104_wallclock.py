@@ -1,0 +1,12 @@
+"""Clock injection: the caller owns time, sim code stays pure."""
+
+
+def run_window(network, cycles: int, clock) -> float:
+    start = clock()
+    for _ in range(cycles):
+        network.step()
+    return clock() - start
+
+
+def stamp_result(result, created_at: float) -> None:
+    result.created_at = created_at

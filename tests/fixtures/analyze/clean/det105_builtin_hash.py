@@ -1,0 +1,8 @@
+"""Stable content hashing via hashlib."""
+
+import hashlib
+
+
+def shard_for(key: str, num_shards: int) -> int:
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards

@@ -1,0 +1,24 @@
+"""A seed-bearing registered class constructed only in its home package."""
+
+
+class RegistryEntry:
+    def __init__(self, kind, cls, to_dict=None):
+        self.kind = kind
+        self.cls = cls
+        self.to_dict = to_dict
+
+
+class RandomPerm:
+    def __init__(self, num_nodes: int, seed: int = 0) -> None:
+        self.num_nodes = num_nodes
+        self.seed = seed
+
+
+ENTRY = RegistryEntry(
+    kind="perm", cls=RandomPerm, to_dict=lambda p: {"seed": p.seed}
+)
+
+
+def build(num_nodes: int, seed: int):
+    # home-package builder: the registry's own construction path
+    return RandomPerm(num_nodes, seed=seed)

@@ -1,0 +1,20 @@
+"""A registered class with its round-trip codec."""
+
+
+class RegistryEntry:
+    def __init__(self, kind, cls, to_dict=None):
+        self.kind = kind
+        self.cls = cls
+        self.to_dict = to_dict
+
+
+class ShiftPattern:
+    def __init__(self, delta_group: int) -> None:
+        self.delta_group = delta_group
+
+
+ENTRY = RegistryEntry(
+    kind="shift",
+    cls=ShiftPattern,
+    to_dict=lambda p: {"delta_group": p.delta_group},
+)

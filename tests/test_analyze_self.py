@@ -1,0 +1,51 @@
+"""The CI gate, locally: ``repro analyze`` must run clean over src/.
+
+Zero non-baselined findings against the committed baseline and identity
+snapshot -- exactly what the ``analyze`` CI job enforces with
+``python -m repro analyze --baseline analyze-baseline.json --fail-on
+warning``.  A failure here means a change introduced a determinism /
+cache-identity / registry-hygiene violation (fix it or add an audited
+suppression), or changed the identity surface without bumping
+CACHE_VERSION/SPEC_VERSION and refreshing the snapshot.
+"""
+
+import os
+
+from repro.analyze import AnalyzeConfig, analyze_tree
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO, "analyze-baseline.json")
+
+
+def test_src_tree_is_clean():
+    report = analyze_tree(AnalyzeConfig(
+        root=REPO, paths=("src",), baseline_path=BASELINE,
+    ))
+    assert report.passed("warning"), report.to_text(fail_on="warning")
+
+
+def test_no_stale_baseline_entries():
+    report = analyze_tree(AnalyzeConfig(
+        root=REPO, paths=("src",), baseline_path=BASELINE,
+    ))
+    assert report.stale_baseline == [], (
+        "baseline entries no longer match any finding; refresh with "
+        "'python -m repro analyze --baseline analyze-baseline.json "
+        "--write-baseline'"
+    )
+
+
+def test_baseline_only_grandfathers_reg301():
+    """The committed debt is the known REG301 set in experiments/.
+
+    Anything else showing up as baselined means new findings were
+    grandfathered instead of fixed -- do that deliberately, not by
+    accident.
+    """
+    report = analyze_tree(AnalyzeConfig(
+        root=REPO, paths=("src",), baseline_path=BASELINE,
+    ))
+    assert {f.rule for f in report.baselined} <= {"REG301"}
+    assert {f.path.rsplit("/", 1)[0] for f in report.baselined} <= {
+        "src/repro/experiments"
+    }

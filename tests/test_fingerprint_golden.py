@@ -1,0 +1,111 @@
+"""Golden fingerprints: the cache-identity surface, pinned by value.
+
+These digests are the actual content addresses of on-disk cached
+results.  If one of these assertions fails, a field changed identity --
+it was added to, removed from, or renamed in a spec's ``to_dict()`` /
+``SimParams.identity_dict()`` -- and every previously cached result
+would be silently mis-keyed.  That can be intentional; when it is:
+
+1. bump ``CACHE_VERSION`` in ``repro/perf/cache.py`` (and
+   ``SPEC_VERSION`` in ``repro/spec/specs.py`` if spec semantics
+   changed),
+2. refresh the static snapshot:
+   ``python -m repro analyze --update-snapshot``,
+3. re-pin the digests below to the new values.
+
+Never "fix" this test by only updating the digest: without the version
+bump, old cache entries keyed by the previous layout stay reachable.
+"""
+
+import hashlib
+import json
+
+from repro.sim.params import SimParams
+from repro.spec import (
+    ModelSpec,
+    PatternSpec,
+    PolicySpec,
+    RunSpec,
+    TopologySpec,
+)
+
+BUMP_MSG = (
+    "field changed identity -- bump CACHE_VERSION (see this test's "
+    "docstring) before re-pinning the digest"
+)
+
+GOLDEN_RUN = (
+    "6c082646b446c9f4053b0f27d3665e2163fda5d4b93966118845a29152ecea6c"
+)
+GOLDEN_MODEL = (
+    "bf364af96b964fed16222d2260ee4220ecc01c9f19f44e370efa910aacd0d373"
+)
+GOLDEN_PARAMS = (
+    "2553a071cd339900e4b6fe62154ed7cd5d479797691139b125b05f5acdb59afc"
+)
+GOLDEN_PARAMS_KEYS = [
+    "buffer_size", "global_latency", "injection_latency",
+    "local_latency", "measure_windows", "min_candidates", "num_vcs",
+    "output_queue_size", "packet_size", "router_latency",
+    "sat_accept_factor", "sat_latency", "speedup", "ugal_threshold",
+    "vc_scheme", "verify", "vlb_cache_per_pair", "vlb_candidates",
+    "warmup_windows", "window_cycles",
+]
+
+
+def _run_spec() -> RunSpec:
+    return RunSpec(
+        topology=TopologySpec.parse("2,4,2,3"),
+        pattern=PatternSpec.make("ur"),
+        load=0.5,
+        routing="ugal-l",
+        seed=7,
+    )
+
+
+def test_runspec_fingerprint_pinned():
+    assert _run_spec().fingerprint() == GOLDEN_RUN, BUMP_MSG
+
+
+def test_modelspec_fingerprint_pinned():
+    spec = ModelSpec(
+        topology=TopologySpec.parse("2,4,2,3"),
+        pattern=PatternSpec.make("ur"),
+        policy=PolicySpec.make("all"),
+    )
+    assert spec.fingerprint() == GOLDEN_MODEL, BUMP_MSG
+
+
+def test_simparams_identity_pinned():
+    identity = SimParams().identity_dict()
+    assert sorted(identity) == GOLDEN_PARAMS_KEYS, BUMP_MSG
+    blob = json.dumps(
+        identity, sort_keys=True, separators=(",", ":"), default=str
+    )
+    assert hashlib.sha256(blob.encode()).hexdigest() == GOLDEN_PARAMS, (
+        BUMP_MSG
+    )
+
+
+def test_obs_stays_identity_neutral():
+    """Observability config must never reach cache identity."""
+    from repro.obs import ObsConfig
+
+    plain = _run_spec()
+    instrumented = RunSpec(
+        topology=plain.topology,
+        pattern=plain.pattern,
+        load=plain.load,
+        routing=plain.routing,
+        params=SimParams(obs=ObsConfig(metrics=True, sample_every=50)),
+        seed=plain.seed,
+    )
+    assert "obs" not in instrumented.params.identity_dict()
+    assert instrumented.fingerprint() == plain.fingerprint()
+
+
+def test_fingerprint_insensitive_to_dict_order():
+    """Canonical JSON sorts keys: construction order is irrelevant."""
+    a = PatternSpec.make("mixed", ur="ur", adv="shift:1", frac=0.5)
+    b = PatternSpec.make("mixed", frac=0.5, adv="shift:1", ur="ur")
+    assert a.fingerprint() == b.fingerprint()

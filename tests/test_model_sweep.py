@@ -81,7 +81,5 @@ class TestVicinity:
         )
         tight = candidate_vicinity(points, rel_tol=0.001)
         loose = candidate_vicinity(points, rel_tol=0.5)
-        assert set(pt.label for pt in tight) <= set(
-            pt.label for pt in loose
-        )
+        assert {pt.label for pt in tight} <= {pt.label for pt in loose}
         assert best in tight
