@@ -236,7 +236,9 @@ def _cmd_sim(args) -> int:
         if routing.startswith("t-") or args.policy
         else None
     )
-    params = SimParams(window_cycles=args.window, verify=args.verify)
+    params = SimParams(
+        window_cycles=args.window, verify=args.verify, engine=args.engine
+    )
     res = simulate(
         topo,
         pattern,
@@ -278,7 +280,9 @@ def _cmd_sweep(args) -> int:
         else None
     )
     loads = parse_loads(args.loads)
-    params = SimParams(window_cycles=args.window, verify=args.verify)
+    params = SimParams(
+        window_cycles=args.window, verify=args.verify, engine=args.engine
+    )
     if args.sample_every or args.trace_dir:
         # identity-neutral: traced points still share cache entries with
         # untraced runs of the same spec
@@ -549,6 +553,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--verify", action="store_true",
                    help="statically verify the configuration before "
                         "simulating (repro.verify pre-flight gate)")
+    p.add_argument("--engine", default="wheel",
+                   choices=["wheel", "array", "legacy"],
+                   help="cycle-engine implementation (bit-identical "
+                        "results; 'array' is the fast struct-of-arrays "
+                        "engine, 'legacy' the seed-faithful oracle)")
     p.set_defaults(func=_cmd_sim)
 
     p = sub.add_parser(
@@ -580,6 +589,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--progress", action="store_true",
                    help="heartbeat/ETA lines on stderr while the batch "
                         "runs")
+    p.add_argument("--engine", default="wheel",
+                   choices=["wheel", "array", "legacy"],
+                   help="cycle-engine implementation (bit-identical "
+                        "results; 'array' is the fast struct-of-arrays "
+                        "engine, 'legacy' the seed-faithful oracle)")
     _exec_args(p)
     p.set_defaults(func=_cmd_sweep)
 

@@ -1,6 +1,6 @@
 """Performance benchmark harness -- the source of ``BENCH_sim.json``.
 
-Two benchmark families:
+The benchmark families:
 
 * **Engine microbenchmark** -- cycles/second of the per-cycle engine
   (deliver / crossbar / transmit) under MIN routing, where routing-side
@@ -10,6 +10,12 @@ Two benchmark families:
   dict port budgets, dict-of-lists event buckets) layered on the current
   :class:`~repro.sim.network.Network`; it produces bit-identical results,
   so the speedup ratio measures exactly the data-structure work.
+* **Array-engine microbenchmark** -- the same step-only methodology,
+  comparing the default timing-wheel engine against the struct-of-arrays
+  batched engine (``repro.sim.array.ArrayNetwork``, native C kernel when
+  a compiler is available).  The record names the backend that actually
+  ran (``native`` vs ``fallback``) because the fallback is the wheel
+  path itself and its "speedup" is meaningless.
 * **Sweep wall-clock** -- an N-point latency-vs-load ladder executed
   serially, through a process pool (``--jobs``), and through a warm
   on-disk cache, asserting that all three return identical results.
@@ -48,6 +54,7 @@ __all__ = [
     "LegacyNetwork",
     "LegacyRouter",
     "LegacySimChannel",
+    "bench_array",
     "bench_engine",
     "bench_model",
     "bench_obs",
@@ -271,20 +278,24 @@ def legacy_engine():
 # ---------------------------------------------------------------------------
 # Benchmarks
 # ---------------------------------------------------------------------------
-def _time_steps(topo, pattern, load, routing, params, seed) -> Tuple:
-    """Run one ``simulate()`` and time only ``Network.step`` calls.
+def _time_steps(topo, pattern, load, routing, params, seed, cls=None) -> Tuple:
+    """Run one ``simulate()`` and time only the engine's ``step`` calls.
 
-    The accumulator wraps :meth:`Network.step` (inherited by
-    :class:`LegacyNetwork`, so the same wrapper times both engines) and
-    sums a ``perf_counter`` interval around each cycle.  Injection,
-    routing decisions, and warmup/drain bookkeeping in ``simulate()`` are
-    identical code in both engines and are excluded, so the ratio
-    measures the deliver/crossbar/transmit phases the refactor touched.
+    The accumulator wraps ``cls.step`` (default :class:`Network`, which
+    :class:`LegacyNetwork` inherits; pass ``ArrayNetwork`` explicitly
+    because it *overrides* ``step`` and patching the base class would
+    silently time nothing) and sums a ``perf_counter`` interval around
+    each cycle.  Injection, routing decisions, and warmup/drain
+    bookkeeping in ``simulate()`` are identical code in all engines and
+    are excluded, so the ratio measures the deliver/crossbar/transmit
+    phases the engine work touched.
     """
     from repro.sim.engine import simulate
 
+    if cls is None:
+        cls = Network
     acc = [0.0, 0]
-    original = Network.step
+    original = cls.step
 
     def step(self):
         start = time.perf_counter()
@@ -292,13 +303,13 @@ def _time_steps(topo, pattern, load, routing, params, seed) -> Tuple:
         acc[0] += time.perf_counter() - start
         acc[1] += 1
 
-    Network.step = step
+    cls.step = step
     try:
         result = simulate(
             topo, pattern, load, routing=routing, params=params, seed=seed
         )
     finally:
-        Network.step = original
+        cls.step = original
     return acc[0], acc[1], result
 
 
@@ -355,10 +366,74 @@ def bench_engine(
         "load": load,
         "window_cycles": window_cycles,
         "engine_cycles": cycles_opt,
+        "baseline_engine": "legacy",
+        "optimized_engine": "wheel",
         "baseline_cycles_per_sec": cycles_leg / best_leg,
         "optimized_cycles_per_sec": cycles_opt / best_opt,
         "speedup": (cycles_opt / best_opt) / (cycles_leg / best_leg),
         "identical_results": identical,
+    }
+
+
+def bench_array(
+    topo: Optional[Dragonfly] = None,
+    *,
+    window_cycles: int = 600,
+    load: float = 1.0,
+    routing: str = "min",
+    seed: int = 1,
+    repeats: int = 5,
+) -> Dict:
+    """Array-engine cycles/second vs the timing-wheel default.
+
+    Same step-only, interleaved, best-of-``repeats`` methodology as
+    :func:`bench_engine` (see there for why MIN at saturating load is
+    the right regime), but the baseline arm is the *wheel* engine -- the
+    repo default that ``bench_engine`` reports as "optimized" -- so the
+    two records compose: legacy -> wheel -> array.
+
+    ``identical_results`` uses full :class:`SimResult` equality (every
+    measured field; the manifest is excluded by construction), which is
+    the engine-parity contract the array engine must uphold.  ``backend``
+    records whether the native C kernel actually ran: without a compiler
+    the array engine falls back to the inherited wheel path and the
+    speedup would be a meaningless ~1.0x.
+    """
+    from repro.sim.array import ArrayNetwork
+    from repro.sim.array.native import native_available
+
+    topo = topo if topo is not None else Dragonfly(4, 8, 4, 9)
+    pattern = UniformRandom(topo)
+    wheel_params = SimParams(window_cycles=window_cycles)
+    array_params = SimParams(window_cycles=window_cycles, engine="array")
+
+    best_wheel, best_arr = float("inf"), float("inf")
+    cycles_wheel = cycles_arr = 0
+    result_wheel = result_arr = None
+    for _ in range(repeats):
+        elapsed, cycles_wheel, result_wheel = _time_steps(
+            topo, pattern, load, routing, wheel_params, seed
+        )
+        best_wheel = min(best_wheel, elapsed)
+        elapsed, cycles_arr, result_arr = _time_steps(
+            topo, pattern, load, routing, array_params, seed,
+            cls=ArrayNetwork,
+        )
+        best_arr = min(best_arr, elapsed)
+
+    return {
+        "topology": str(topo),
+        "routing": routing,
+        "load": load,
+        "window_cycles": window_cycles,
+        "engine_cycles": cycles_arr,
+        "baseline_engine": "wheel",
+        "optimized_engine": "array",
+        "backend": "native" if native_available() else "fallback",
+        "baseline_cycles_per_sec": cycles_wheel / best_wheel,
+        "optimized_cycles_per_sec": cycles_arr / best_arr,
+        "speedup": (cycles_arr / best_arr) / (cycles_wheel / best_wheel),
+        "identical_results": result_arr == result_wheel,
     }
 
 
@@ -430,8 +505,14 @@ def bench_sweep(
 ) -> Dict:
     """Wall-clock of an N-point load ladder: serial vs pool vs warm cache.
 
-    All three executions must return identical result lists; the record
+    All executions must return identical result lists; the record
     includes the host's CPU count since pool speedup is bounded by it.
+    When ``jobs`` exceeds the CPU count the pooled run is *skipped*
+    rather than reported: an oversubscribed CPU-bound pool measures
+    scheduler thrash, and publishing that as "parallel speedup" (the old
+    jobs=8 default produced 0.72x on a 1-CPU host) misleads anyone
+    reading the trajectory record.  The skip is annotated in
+    ``parallel_skipped`` and the speedup fields are ``None``.
     """
     topo = topo if topo is not None else Dragonfly(4, 8, 4, 9)
     params = SimParams(window_cycles=window_cycles)
@@ -453,12 +534,22 @@ def bench_sweep(
     serial = latency_vs_load(topo, pattern, loads, **kwargs)
     serial_s = time.perf_counter() - start
 
-    with SweepExecutor(jobs=jobs) as executor:
-        start = time.perf_counter()
-        pooled = latency_vs_load(
-            topo, pattern, loads, executor=executor, **kwargs
+    cpus = os.cpu_count() or 1
+    parallel_s = None
+    parallel_skipped = None
+    pooled = None
+    if jobs > cpus:
+        parallel_skipped = (
+            f"jobs ({jobs}) > cpus ({cpus}): an oversubscribed pool "
+            "measures scheduler contention, not parallel speedup"
         )
-        parallel_s = time.perf_counter() - start
+    else:
+        with SweepExecutor(jobs=jobs) as executor:
+            start = time.perf_counter()
+            pooled = latency_vs_load(
+                topo, pattern, loads, executor=executor, **kwargs
+            )
+            parallel_s = time.perf_counter() - start
 
     cached_s = None
     if cache_dir is not None:
@@ -473,17 +564,18 @@ def bench_sweep(
             cached_s = time.perf_counter() - start
         assert cached.rows() == serial.rows(), "cache changed sweep results"
 
-    identical = pooled.rows() == serial.rows()
+    identical = pooled is None or pooled.rows() == serial.rows()
     return {
         "topology": str(topo),
         "routing": routing,
         "loads": list(loads),
         "window_cycles": window_cycles,
         "jobs": jobs,
-        "cpus": os.cpu_count() or 1,
+        "cpus": cpus,
         "serial_seconds": serial_s,
         "parallel_seconds": parallel_s,
         "parallel_speedup": serial_s / parallel_s if parallel_s else None,
+        "parallel_skipped": parallel_skipped,
         "cached_seconds": cached_s,
         "cached_speedup": (serial_s / cached_s) if cached_s else None,
         "identical_results": identical,
@@ -635,10 +727,15 @@ def run_benchmarks(
     loads = [0.05 + 0.05 * i for i in range(sweep_points)]
     record = {
         "bench": "repro.perf",
-        "version": 2,
+        "version": 3,
         "python": platform.python_version(),
         "cpus": os.cpu_count() or 1,
         "engine_microbench": bench_engine(
+            topo,
+            window_cycles=engine_window,
+            repeats=1 if quick else 5,
+        ),
+        "array_microbench": bench_array(
             topo,
             window_cycles=engine_window,
             repeats=1 if quick else 5,
@@ -706,14 +803,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"engine: {eng['baseline_cycles_per_sec']:.0f} -> "
           f"{eng['optimized_cycles_per_sec']:.0f} cycles/s "
           f"({eng['speedup']:.2f}x, identical={eng['identical_results']})")
+    arr = record["array_microbench"]
+    print(f"array ({arr['backend']}): "
+          f"{arr['baseline_cycles_per_sec']:.0f} -> "
+          f"{arr['optimized_cycles_per_sec']:.0f} cycles/s "
+          f"({arr['speedup']:.2f}x, identical={arr['identical_results']})")
     obs = record["obs_microbench"]
     print(f"obs disabled-overhead: {obs['noop_overhead']:.3f}x "
           f"(identical={obs['identical_results']})")
-    print(f"sweep ({len(swp['loads'])} points, jobs={swp['jobs']}, "
-          f"cpus={swp['cpus']}): serial {swp['serial_seconds']:.2f}s, "
-          f"parallel {swp['parallel_seconds']:.2f}s "
-          f"({swp['parallel_speedup']:.2f}x, "
-          f"identical={swp['identical_results']})")
+    if swp["parallel_seconds"] is None:
+        print(f"sweep ({len(swp['loads'])} points, jobs={swp['jobs']}, "
+              f"cpus={swp['cpus']}): serial {swp['serial_seconds']:.2f}s, "
+              f"parallel skipped ({swp['parallel_skipped']})")
+    else:
+        print(f"sweep ({len(swp['loads'])} points, jobs={swp['jobs']}, "
+              f"cpus={swp['cpus']}): serial {swp['serial_seconds']:.2f}s, "
+              f"parallel {swp['parallel_seconds']:.2f}s "
+              f"({swp['parallel_speedup']:.2f}x, "
+              f"identical={swp['identical_results']})")
     if swp["cached_seconds"] is not None:
         print(f"  warm cache: {swp['cached_seconds']:.3f}s "
               f"({swp['cached_speedup']:.0f}x)")

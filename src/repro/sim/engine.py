@@ -95,10 +95,29 @@ def build_network(
     params: SimParams,
     routing_variant: str,
 ) -> Network:
-    """Construct a :class:`Network` sized for the routing variant's VCs."""
+    """Construct a :class:`Network` sized for the routing variant's VCs.
+
+    ``params.engine`` selects the implementation behind the shared
+    interface: the timing-wheel default, the struct-of-arrays batched
+    engine (``repro.sim.array``), or the seed-faithful legacy oracle.
+    All three are bit-identical (the knob is identity-neutral), so the
+    choice is purely a performance decision.
+    """
     name = routing_variant.lower()
     base = name[2:] if name.startswith("t-") else name
     num_vcs = params.vcs_required(base, topo.max_local_hops)
+    engine = params.engine
+    if engine == "array":
+        from repro.sim.array import ArrayNetwork
+
+        return ArrayNetwork(topo, params, num_vcs)
+    if engine == "legacy":
+        # lazy: the oracle lives in the bench harness, above repro.sim
+        from repro.perf.bench import LegacyNetwork
+
+        return LegacyNetwork(topo, params, num_vcs)
+    # the module-global name, not a direct class reference:
+    # repro.perf.bench.legacy_engine() monkeypatches it for A/B timing
     return Network(topo, params, num_vcs)
 
 
@@ -190,6 +209,7 @@ def simulate(
     stats = StatsCollector(topo.num_nodes, params.warmup_cycles)
 
     network.on_eject = stats.record_ejection
+    network.on_eject_batch = stats.record_ejection_batch
     network.on_arrival = algo.revise_at
 
     nodes = np.arange(topo.num_nodes)
@@ -255,19 +275,30 @@ def simulate(
             srcs = nodes[draws]
             if srcs.size:
                 dests = pattern.sample_destinations(srcs, rng)
+                # batch: create, route all, then inject all.  Routing
+                # reads only channel load_metric state (never source
+                # queues), each node draws at most one packet per cycle,
+                # and route_packets preserves sequence order, so this is
+                # bit-identical to the per-packet route/inject interleave
+                batch = []
                 for src, dst in zip(srcs.tolist(), dests.tolist()):
                     if dst == NO_TRAFFIC:
                         continue
                     if network.source_queue_len(src) >= max_source_queue:
                         inc_stalled()
                         continue
-                    packet = Packet(src, int(dst), cycle)
-                    algo.route_packet(packet)
-                    network.inject(packet)
+                    batch.append(Packet(src, int(dst), cycle))
                     inc_injected()
+                if batch:
+                    algo.route_packets(batch)
+                    for packet in batch:
+                        network.inject(packet)
         network.step()
         if sampler is not None and network.cycle % sample_every == 0:
             sampler.sample()
+    # drain any ejections the engine buffered across cycles (array
+    # engine); must precede stats.result so the tail packets count
+    network.finalize()
     # repro: allow[DET104]: closes the wall_seconds runtime measurement
     wall_seconds = time.perf_counter() - wall_start
 

@@ -341,6 +341,12 @@ class Network:
         # hooks filled by the engine
         self.on_eject = None  # callable(packet, cycle)
         self.on_arrival = None  # callable(packet, router_idx) for PAR
+        # optional batched ejection hook: callable(latencies, hops,
+        # used_vlb, cycle) over numpy arrays for every packet ejected in
+        # one cycle, in ejection order.  The wheel engine ignores it (it
+        # ejects packet-at-a-time through on_eject); the array engine
+        # prefers it when set, falling back to per-packet on_eject calls
+        self.on_eject_batch = None
 
     # ------------------------------------------------------------------
     # Route helpers
@@ -669,6 +675,14 @@ class Network:
             and not self._pending_credits
             and self.in_flight() == 0
         )
+
+    def finalize(self) -> None:
+        """Flush any lazily buffered hook work after the last ``step()``.
+
+        The wheel engine fires every hook inline, so this is a no-op;
+        the array engine buffers ejections across cycles and overrides
+        this to drain them.  ``simulate`` calls it before reading stats.
+        """
 
     def in_flight(self) -> int:
         """Packets anywhere in the network (excluding source queues)."""

@@ -54,6 +54,14 @@ class SimParams:
     # Identity-neutral: excluded from spec fingerprints and cache keys
     # (see identity_dict), because observability never changes results
     obs: Optional[ObsConfig] = None  # repro: identity-neutral
+    # cycle-engine implementation: "wheel" (timing-wheel default),
+    # "array" (struct-of-arrays batched core, repro.sim.array), or
+    # "legacy" (seed-faithful oracle in repro.perf.bench).  All three are
+    # bit-identical by construction (pinned by the parity suite), so the
+    # knob is identity-neutral -- unlike the LP model's engine switch,
+    # where fast/legacy genuinely differ numerically and the engine is
+    # part of the ModelSpec identity
+    engine: str = "wheel"  # repro: identity-neutral
 
     # --- measurement (paper: 3 x 10000 warmup + 10000 measurement) ---
     warmup_windows: int = 3
@@ -82,17 +90,22 @@ class SimParams:
                 "packet_size cannot exceed buffer_size (virtual cut-through "
                 "buffers whole packets)"
             )
+        if self.engine not in ("wheel", "array", "legacy"):
+            raise ValueError("engine must be 'wheel', 'array' or 'legacy'")
 
     def identity_dict(self) -> Dict[str, Any]:
         """The fields that define this configuration's *identity*.
 
-        ``dataclasses.asdict`` minus ``obs``: observability never changes
-        simulation results (asserted by the engine-parity tests), so it
-        is excluded from every spec fingerprint and cache key -- traced
-        and untraced runs of one point share a cache entry.
+        ``dataclasses.asdict`` minus ``obs`` and ``engine``: observability
+        never changes simulation results (asserted by the engine-parity
+        tests), and every cycle engine is bit-identical (asserted by the
+        cross-engine parity suite), so both are excluded from every spec
+        fingerprint and cache key -- traced/untraced runs and runs on any
+        engine of one point all share a single cache entry.
         """
         data = asdict(self)
         data.pop("obs", None)
+        data.pop("engine", None)
         return data
 
     def with_obs(self, obs: Optional[ObsConfig]) -> "SimParams":

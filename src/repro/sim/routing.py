@@ -16,7 +16,7 @@ registration, not an edit to this file.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -177,6 +177,21 @@ class RoutingAlgorithm:
             self._apply(packet, ((Path((src_sw,), ())), [], []), False)
             return
         self.strategy.decide(self, packet, src_sw, dst_sw)
+
+    def route_packets(self, packets: Sequence[Packet]) -> None:
+        """Route a batch of freshly created packets, in order.
+
+        Batch-friendly hook for the engines: one call per injection
+        cycle instead of one per packet.  The RNG draw order is pinned
+        -- packets are routed strictly in sequence order, so the draws
+        (and the VLB candidate-cache mutations they cause) happen in
+        exactly the order the per-packet loop would produce.  Decisions
+        only read channel ``load_metric`` state, never source-queue
+        occupancy, so routing a whole batch before injecting any of it
+        is bit-identical to interleaving route/inject per packet.
+        """
+        for packet in packets:
+            self.route_packet(packet)
 
     def revise_at(self, packet: Packet, router_idx: int) -> None:
         """Mid-route revision hook (PAR's second-hop re-decision).

@@ -54,6 +54,11 @@ class StatsCollector:
         self.warmup_cycles = warmup_cycles
         self.latencies: List[int] = []
         self.hops: List[int] = []
+        # batched ejections stay numpy chunks until result(); converting
+        # tens of thousands of entries to Python ints per drain was the
+        # single largest Python-side cost of the array engine's step
+        self._lat_chunks: List["np.ndarray"] = []
+        self._hop_chunks: List["np.ndarray"] = []
         self.vlb_count = 0
         self.ejected = 0
 
@@ -66,6 +71,61 @@ class StatsCollector:
         if packet.used_vlb:
             self.vlb_count += 1
 
+    def record_ejection_batch(
+        self,
+        latencies: "np.ndarray",
+        hops: "np.ndarray",
+        used_vlb: "np.ndarray",
+        cycles: "np.ndarray",
+    ) -> None:
+        """Batched ``record_ejection``: packets ejected over many cycles.
+
+        ``cycles[i]`` is the ejection cycle of packet ``i`` (the array
+        engine buffers ejections across cycles before draining), so the
+        warmup guard is applied per packet, exactly like the scalar path.
+
+        Bit-identity with the scalar path is by construction, not by
+        accident -- audited for the array engine's batched reductions:
+
+        * ``latencies``/``hops`` are *integers* (cycle counts), kept as
+          numpy chunks and concatenated in ``result()`` in arrival
+          order.  The sequence reaching ``result()`` -- order included,
+          not just the multiset -- is identical to what per-packet
+          appends would build, and every downstream reduction there
+          (``np.mean`` pairwise summation over exact integer-valued
+          floats < 2**53, multiset-based ``np.percentile``) therefore
+          produces the same IEEE doubles regardless of whether entries
+          arrived one at a time or in batches.  No float accumulation
+          happens at record time, so pairwise-vs-sequential summation
+          order never enters the picture (the summation-order audit of
+          every reduction in this module lives in ``result()``).
+        * callers must preserve ejection order within the batch (the
+          array engine drains its eject buffer in delivery-bucket order,
+          the same order the wheel engine fires ``on_eject``), and the
+          boolean warmup mask below is order-preserving.  Interleaved
+          scalar appends are folded into the chunk sequence in order,
+          so mixing both hooks stays exact too.
+        * ``vlb_count``/``ejected`` are plain int sums (associative).
+        """
+        mask = cycles >= self.warmup_cycles
+        if not mask.all():
+            if not mask.any():
+                return
+            latencies = latencies[mask]
+            hops = hops[mask]
+            used_vlb = used_vlb[mask]
+        self.ejected += len(latencies)
+        if self.latencies:
+            # preserve global arrival order across mixed scalar/batch use
+            self._lat_chunks.append(np.asarray(self.latencies))
+            self._hop_chunks.append(np.asarray(self.hops))
+            self.latencies = []
+            self.hops = []
+        # copy: callers may pass views into buffers they reuse
+        self._lat_chunks.append(np.array(latencies))
+        self._hop_chunks.append(np.array(hops))
+        self.vlb_count += int(np.count_nonzero(used_vlb))
+
     def result(
         self,
         offered_load: float,
@@ -76,8 +136,31 @@ class StatsCollector:
         live_fraction: float = 1.0,
     ) -> SimResult:
         """``live_fraction`` scales the offered load for patterns where some
-        nodes never inject (permutation fixed points, shift(0,0))."""
-        lat = np.asarray(self.latencies, dtype=float)
+        nodes never inject (permutation fixed points, shift(0,0)).
+
+        Float-summation-order audit (bit-identity across engines): the
+        only float reductions over per-packet data are ``np.mean`` and
+        ``np.percentile`` below, both over a single concatenated array
+        whose element order equals the scalar append order, so numpy's
+        pairwise summation sees the same operand tree no matter how the
+        entries were recorded.  All record-time accumulators
+        (``ejected``, ``vlb_count``) are exact integer sums, and the
+        remaining arithmetic here (``accepted``, ``vlb_fraction``) is a
+        single division of exact integers -- no order sensitivity
+        anywhere.
+        """
+        lat_parts = list(self._lat_chunks)
+        if self.latencies:
+            lat_parts.append(np.asarray(self.latencies))
+        lat = (
+            np.concatenate(lat_parts).astype(float)
+            if lat_parts
+            else np.zeros(0)
+        )
+        hop_parts = list(self._hop_chunks)
+        if self.hops:
+            hop_parts.append(np.asarray(self.hops))
+        hops = np.concatenate(hop_parts) if hop_parts else np.zeros(0, int)
         n = len(lat)
         avg_latency = float(lat.mean()) if n else float("inf")
         accepted = self.ejected / (self.num_nodes * measure_cycles)
@@ -95,7 +178,7 @@ class StatsCollector:
             accepted_rate=accepted,
             avg_latency=avg_latency,
             p99_latency=float(np.percentile(lat, 99)) if n else float("inf"),
-            avg_hops=float(np.mean(self.hops)) if n else 0.0,
+            avg_hops=float(np.mean(hops)) if n else 0.0,
             vlb_fraction=self.vlb_count / n if n else 0.0,
             packets_measured=n,
             saturated=saturated,
