@@ -196,3 +196,53 @@ def check_missing_codec(ctx: ProjectContext) -> Iterator[Finding]:
                 "RegistryEntry has cls= but no to_dict= codec",
                 context=unit.line_text(call.lineno),
             )
+
+
+# ---------------------------------------------------------------------------
+# REG303: topology subclass not registered with a codec
+# ---------------------------------------------------------------------------
+@rule(
+    "REG303",
+    "topology-class-unregistered",
+    family="registry-hygiene",
+    severity="warning",
+    summary=(
+        "a concrete topology class (a Dragonfly subclass) that is not "
+        "registered in the TOPOLOGY registry with a to_dict codec "
+        "cannot be spec'd: TopologySpec.of() rejects its instances, so "
+        "no run using it can be fingerprinted or cached"
+    ),
+    hint=(
+        "register it with TOPOLOGY_REGISTRY.register(RegistryEntry("
+        "kind=..., cls=<TheClass>, build=..., to_dict=..., parse=...)) "
+        "next to the other topology entries"
+    ),
+    scope="project",
+)
+def check_unregistered_topology(ctx: ProjectContext) -> Iterator[Finding]:
+    entry = ANALYZE_RULES.get("REG303")
+    with_codec = {
+        reg.name for reg in _registered_classes(ctx) if reg.has_to_dict
+    }
+    for unit in ctx.iter_parsed():
+        assert unit.tree is not None
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            base_names = {
+                base.id
+                if isinstance(base, ast.Name)
+                else base.attr
+                if isinstance(base, ast.Attribute)
+                else None
+                for base in node.bases
+            }
+            if "Dragonfly" not in base_names:
+                continue
+            if node.name not in with_codec:
+                yield entry.finding(
+                    unit.path, node.lineno,
+                    f"topology class {node.name} is not registered in "
+                    f"the TOPOLOGY registry with a to_dict codec",
+                    context=unit.line_text(node.lineno),
+                )

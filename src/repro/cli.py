@@ -33,7 +33,9 @@ errors; ``python -c "from repro.spec import TRAFFIC_REGISTRY;
 print(TRAFFIC_REGISTRY.help_text())"`` prints the live table):
 
 ==========  ===============================================================
-topology    ``--topology P,A,H,G`` (e.g. ``4,8,4,9``)
+topology    ``--topology P,A,H,G`` (e.g. ``4,8,4,9``) |
+            ``dfly:P,A,H,G`` | ``cascade:P,A,H,G,ROWS,COLS`` |
+            ``full-mesh:N[,P]``
 pattern     ``ur`` | ``shift:DG[,DS]`` | ``perm[:SEED]`` |
             ``type2[:SEED]`` | ``mixed:UR,ADV[,SEED]`` |
             ``tmixed:UR,ADV[,SEED]``
@@ -356,7 +358,9 @@ def _cmd_tvlb(args) -> int:
             sim_params=SimParams(window_cycles=args.window),
             seed=args.seed,
             executor=executor,
-            model_engine=args.model_engine,
+            model_engine=(
+                None if args.model_engine == "auto" else args.model_engine
+            ),
         )
     print(f"T-VLB for {topo}: {res.label}")
     print(f"converged to conventional UGAL: {res.converged_to_ugal}")
@@ -511,7 +515,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     def topo_args(p):
         p.add_argument("--topology", "-t", default="4,8,4,9",
-                       help="P,A,H,G (default 4,8,4,9)")
+                       help="P,A,H,G or KIND:ARGS, e.g. full-mesh:16,4 "
+                            "(default 4,8,4,9)")
         p.add_argument("--arrangement", default="absolute",
                        choices=["absolute", "relative", "circulant"])
 
@@ -603,9 +608,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--save", default=None,
                    help="write the chosen policy to this JSON file")
-    p.add_argument("--model-engine", default="fast",
-                   choices=["fast", "legacy"],
-                   help="LP engine for the Step-1 sweep (default fast)")
+    p.add_argument("--model-engine", default="auto",
+                   choices=["auto", "fast", "legacy"],
+                   help="LP engine for the Step-1 sweep (default auto = "
+                        "the topology's preferred engine)")
     _exec_args(p)
     p.set_defaults(func=_cmd_tvlb)
 

@@ -29,7 +29,6 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.balance import BalanceReport, balance_adjust
-from repro.core.datapoints import table1_datapoints
 from repro.model.pathstats import PathStatsCache
 from repro.model.sweep import SweepPoint, candidate_vicinity, step1_sweep
 from repro.routing.pathset import (
@@ -226,9 +225,9 @@ def compute_tvlb(
     balance: bool = True,
     verify: bool = True,
     seed: int = 0,
-    datapoints: Optional[Sequence[HopClassPolicy]] = None,
+    datapoints: Optional[Sequence[PathPolicy]] = None,
     executor: Optional["SweepExecutor"] = None,
-    model_engine: str = "fast",
+    model_engine: Optional[str] = None,
 ) -> TvlbResult:
     """Run Algorithm 1 and return the T-VLB policy for ``topo``.
 
@@ -245,13 +244,22 @@ def compute_tvlb(
     ``RuntimeError`` so a broken set can never reach the simulator.
 
     ``model_engine`` selects the Step-1 LP solver (``"fast"`` -- the
-    factored :class:`~repro.model.fastpath.FastModel` pipeline, the
-    default -- or ``"legacy"``, the original per-solve assembly); an
-    ``executor`` additionally fans both the Step-1 model solves and the
-    Step-2 simulation points out across its worker pool and result
-    cache.
+    factored :class:`~repro.model.fastpath.FastModel` pipeline -- or
+    ``"legacy"``, the original per-solve assembly; ``None`` defers to
+    the topology's ``default_model_engine`` hook); an ``executor``
+    additionally fans both the Step-1 model solves and the Step-2
+    simulation points out across its worker pool and result cache.
+
+    The per-topology hooks of the :class:`~repro.topology.base.Topology`
+    protocol shape the run: ``tvlb_datapoints`` supplies the Step-1
+    candidate grid (Table 1 on dragonflies, the ordered-intermediate
+    fraction ladder on full meshes), ``baseline_policy`` the
+    always-competing conventional set, and ``deadlock_vc_scheme`` the VC
+    scheme the final verification certifies under.
     """
     rng = np.random.default_rng(seed)
+    if model_engine is None:
+        model_engine = getattr(topo, "default_model_engine", "fast")
 
     # ---- adversarial suites (Section 3.3.1) ----
     t1 = type_1_set(topo)
@@ -261,15 +269,15 @@ def compute_tvlb(
     t2 = type_2_set(topo, count=num_type2, seed=seed)
     patterns = t1 + t2
 
-    # ---- Step 1: coarse-grain model sweep over the Table-1 grid ----
-    # (the default grid covers fully connected groups, whose VLB paths
-    # top out at 6 hops; pass a custom `datapoints` grid for variations
-    # like CascadeDragonfly where they reach `max_vlb_hops(topo)`)
+    # ---- Step 1: coarse-grain model sweep over the candidate grid ----
+    # (the topology's `tvlb_datapoints` hook: Table 1 on dragonflies;
+    # pass a custom `datapoints` grid for variations like
+    # CascadeDragonfly where VLB paths reach `max_vlb_hops(topo)`)
     cache = PathStatsCache(topo, max_descriptors=max_descriptors, seed=seed)
     grid = (
         list(datapoints)
         if datapoints is not None
-        else table1_datapoints(step=step, seed=seed)
+        else topo.tvlb_datapoints(step=step, seed=seed)
     )
     sweep = step1_sweep(
         topo,
@@ -315,11 +323,17 @@ def compute_tvlb(
             strategic = StrategicFiveHopPolicy(order)
             candidates.append((strategic.describe(), strategic))
 
-    # the conventional UGAL set always competes; if it wins, T-UGAL
-    # converges with UGAL (the paper's g=33 outcome)
-    if not any(isinstance(pol, AllVlbPolicy) or lbl == "all VLB"
-               for lbl, pol in candidates):
-        candidates.append(("all VLB", AllVlbPolicy()))
+    # the topology's conventional set always competes; if it wins, T-UGAL
+    # converges with UGAL (the paper's g=33 outcome).  Topologies whose
+    # unrestricted set is not deadlock-safe (FullMesh under one VC)
+    # return None here -- their grid already tops out at the largest
+    # admissible set.
+    baseline = topo.baseline_policy()
+    if baseline is not None and not any(
+        isinstance(pol, type(baseline)) or lbl == baseline.describe()
+        for lbl, pol in candidates
+    ):
+        candidates.append((baseline.describe(), baseline))
 
     # ---- balance analysis + adjustment ----
     evaluated: List[CandidateEval] = []
@@ -348,7 +362,11 @@ def compute_tvlb(
     if verify:
         from repro.verify import verify_config
 
-        scheme = (sim_params or SimParams()).vc_scheme
+        # the topology's own certification scheme wins (e.g. FullMesh's
+        # one-VC "none"); dragonflies certify under the simulation scheme
+        scheme = topo.deadlock_vc_scheme or (
+            sim_params or SimParams()
+        ).vc_scheme
         # verify under PAR: its dependency set (revised fragments, one VC
         # level up) is a superset of every UGAL variant's
         verify_report = verify_config(

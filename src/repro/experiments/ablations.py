@@ -31,7 +31,7 @@ from repro.routing.pathset import (
 )
 from repro.sim import SimParams
 from repro.spec import PatternSpec, PolicySpec, SuiteSpec, SweepSpec, TopologySpec
-from repro.topology import Dragonfly
+from repro.topology import Dragonfly, default_dragonfly
 from repro.traffic import Shift
 
 __all__ = ["abl_strategic", "abl_balance", "abl_monotonic", "algorithm1"]
@@ -43,7 +43,7 @@ def _window() -> int:
 
 def abl_strategic() -> FigureResult:
     """Strategic 2+3 vs 3+2 vs random 50% 5-hop on dfly(4,8,4,9)."""
-    topo = Dragonfly(4, 8, 4, 9)
+    topo = default_dragonfly()
     params = SimParams(window_cycles=_window())
     pattern = Shift(topo, 2, 0)
     loads = (0.1, 0.2, 0.3, 0.4)
@@ -83,7 +83,7 @@ def abl_strategic() -> FigureResult:
 
 def abl_balance() -> FigureResult:
     """Effect of the Step-2 load-balance adjustment on dfly(4,8,4,9)."""
-    topo = Dragonfly(4, 8, 4, 9)
+    topo = default_dragonfly()
     params = SimParams(window_cycles=_window())
     pattern = Shift(topo, 1, 0)
     loads = (0.1, 0.25, 0.4)
@@ -132,7 +132,7 @@ def abl_balance() -> FigureResult:
 
 def abl_monotonic() -> FigureResult:
     """LP model: monotonicity fix vs unconstrained vs uniform split."""
-    topo = Dragonfly(4, 8, 4, 9)
+    topo = default_dragonfly()
     cache = PathStatsCache(topo)
     demand = Shift(topo, 2, 0).demand_matrix()
     rows = []

@@ -44,15 +44,8 @@ from repro.spec import (
     SweepSpec,
     TopologySpec,
 )
-from repro.topology import Dragonfly
-from repro.traffic import (
-    Mixed,
-    RandomPermutation,
-    Shift,
-    TimeMixed,
-    type_1_set,
-    type_2_set,
-)
+from repro.topology import Dragonfly, default_dragonfly
+from repro.traffic import Shift, type_1_set, type_2_set
 
 __all__ = [
     "FIGURES",
@@ -82,6 +75,26 @@ def _params(**overrides) -> SimParams:
     return dataclasses.replace(
         SimParams(window_cycles=_window()), **overrides
     )
+
+
+def _perm_factory(offset: int) -> Callable[[Dragonfly, int], object]:
+    """Registry-built random permutation; the seed stays spec-visible."""
+    def factory(topo: Dragonfly, seed: int) -> object:
+        return PatternSpec.make("perm", seed=seed + offset).build(topo)
+
+    return factory
+
+
+def _mix_factory(
+    kind: str, ur: int, adv: int
+) -> Callable[[Dragonfly, int], object]:
+    """Registry-built MIXED/TMIXED pattern; the seed stays spec-visible."""
+    def factory(topo: Dragonfly, seed: int) -> object:
+        return PatternSpec.make(
+            kind, ur_percent=ur, adv_percent=adv, seed=seed
+        ).build(topo)
+
+    return factory
 
 
 def tvlb_policy_for(topo: Dragonfly) -> PathPolicy:
@@ -219,7 +232,7 @@ def table2() -> FigureResult:
     topologies = [
         Dragonfly(4, 8, 4, 33),
         Dragonfly(4, 8, 4, 17),
-        Dragonfly(4, 8, 4, 9),
+        default_dragonfly(),
         Dragonfly(13, 26, 13, 27),
     ]
     rows = []
@@ -291,7 +304,7 @@ def _model_sweep_figure(figure: str, topo: Dragonfly) -> FigureResult:
 
 
 def fig04() -> FigureResult:
-    return _model_sweep_figure("fig04", Dragonfly(4, 8, 4, 9))
+    return _model_sweep_figure("fig04", default_dragonfly())
 
 
 def fig05() -> FigureResult:
@@ -309,7 +322,7 @@ def fig06() -> FigureResult:
     return _curve_figure(
         "fig06",
         "adversarial shift(2,0), UGAL-L & PAR on dfly(4,8,4,9)",
-        Dragonfly(4, 8, 4, 9),
+        default_dragonfly(),
         lambda t, seed: Shift(t, 2, 0),
         ADV_LOADS,
         ["ugal-l", "par"],
@@ -320,7 +333,7 @@ def fig07() -> FigureResult:
     return _curve_figure(
         "fig07",
         "adversarial shift(2,0), UGAL-G on dfly(4,8,4,9)",
-        Dragonfly(4, 8, 4, 9),
+        default_dragonfly(),
         lambda t, seed: Shift(t, 2, 0),
         ADV_LOADS,
         ["ugal-g"],
@@ -331,8 +344,8 @@ def fig08() -> FigureResult:
     return _curve_figure(
         "fig08",
         "random permutation, UGAL-L & PAR on dfly(4,8,4,9)",
-        Dragonfly(4, 8, 4, 9),
-        lambda t, seed: RandomPermutation(t, seed=seed + 11),
+        default_dragonfly(),
+        _perm_factory(11),
         PERM_LOADS,
         ["ugal-l", "par"],
     )
@@ -342,8 +355,8 @@ def fig09() -> FigureResult:
     return _curve_figure(
         "fig09",
         "random permutation, UGAL-G on dfly(4,8,4,9)",
-        Dragonfly(4, 8, 4, 9),
-        lambda t, seed: RandomPermutation(t, seed=seed + 11),
+        default_dragonfly(),
+        _perm_factory(11),
         PERM_LOADS,
         ["ugal-g"],
     )
@@ -360,7 +373,7 @@ def fig10() -> FigureResult:
         "fig10",
         "MIXED(75,25), UGAL-L & PAR on dfly(4,8,4,17)",
         Dragonfly(4, 8, 4, 17),
-        lambda t, seed: Mixed(t, 75, 25, seed=seed),
+        _mix_factory("mixed", 75, 25),
         MIX_LOADS,
         ["ugal-l", "par"],
     )
@@ -371,7 +384,7 @@ def fig11() -> FigureResult:
         "fig11",
         "MIXED(25,75), UGAL-L & PAR on dfly(4,8,4,17)",
         Dragonfly(4, 8, 4, 17),
-        lambda t, seed: Mixed(t, 25, 75, seed=seed),
+        _mix_factory("mixed", 25, 75),
         MIX_LOADS,
         ["ugal-l", "par"],
     )
@@ -382,7 +395,7 @@ def fig12() -> FigureResult:
         "fig12",
         "TMIXED(50,50), UGAL-L & PAR on dfly(4,8,4,17)",
         Dragonfly(4, 8, 4, 17),
-        lambda t, seed: TimeMixed(t, 50, 50, seed=seed),
+        _mix_factory("tmixed", 50, 50),
         MIX_LOADS,
         ["ugal-l", "par"],
     )
@@ -420,7 +433,7 @@ def fig14() -> FigureResult:
         "fig14",
         "MIXED(50,50) on dfly(13,26,13,27)",
         Dragonfly(13, 26, 13, 27),
-        lambda t, seed: Mixed(t, 50, 50, seed=seed),
+        _mix_factory("mixed", 50, 50),
         _large_loads(),
         ["ugal-l", "par", "ugal-g"],
         params=_params(window_cycles=_window_large()),
@@ -480,7 +493,7 @@ def fig15() -> FigureResult:
         "fig15",
         "link-latency sensitivity, UGAL-G, permutation on dfly(4,8,4,17)",
         Dragonfly(4, 8, 4, 17),
-        lambda t, seed: RandomPermutation(t, seed=seed + 21),
+        _perm_factory(21),
         PERM_LOADS,
         "ugal-g",
         [
@@ -495,7 +508,7 @@ def fig16() -> FigureResult:
         "fig16",
         "buffer-size sensitivity, UGAL-L, MIXED(50,50) on dfly(4,8,4,17)",
         Dragonfly(4, 8, 4, 17),
-        lambda t, seed: Mixed(t, 50, 50, seed=seed),
+        _mix_factory("mixed", 50, 50),
         MIX_LOADS,
         "ugal-l",
         [
@@ -510,7 +523,7 @@ def fig17() -> FigureResult:
         "fig17",
         "switch-speedup sensitivity, PAR, MIXED(25,75) on dfly(4,8,4,17)",
         Dragonfly(4, 8, 4, 17),
-        lambda t, seed: Mixed(t, 25, 75, seed=seed),
+        _mix_factory("mixed", 25, 75),
         MIX_LOADS,
         "par",
         [
@@ -524,7 +537,7 @@ def fig18() -> FigureResult:
     return _sensitivity_figure(
         "fig18",
         "VC-scheme sensitivity, UGAL-G, shift(1,0) on dfly(4,8,4,9)",
-        Dragonfly(4, 8, 4, 9),
+        default_dragonfly(),
         lambda t, seed: Shift(t, 1, 0),
         ADV_LOADS,
         "ugal-g",

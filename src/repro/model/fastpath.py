@@ -645,7 +645,19 @@ class FastModel:
             if policy is None:
                 weight_fn = lambda l1, l2: 1.0  # noqa: E731 - all VLB
             else:
-                weight_fn = weights_for_policy(policy)
+                try:
+                    weight_fn = weights_for_policy(policy)
+                except TypeError:
+                    # the factored pipeline only models class-weight
+                    # policies; unlike the legacy assembly it has no
+                    # exact per-pair enumeration fallback
+                    raise TypeError(
+                        f"policy {policy.describe()!r} has no class-weight "
+                        f"translation and is not supported by the fast "
+                        f"model engine; use engine='legacy' "
+                        f"(model_throughput), which enumerates the "
+                        f"policy's candidate set exactly"
+                    ) from None
 
         struct = self._pattern(demand)
         num_pairs = struct.num_pairs

@@ -145,14 +145,29 @@ def model_throughput(
     """
     if mode not in ("uniform", "free"):
         raise ValueError(f"unknown mode {mode!r}")
+    exact_policy: Optional[PathPolicy] = None
     if weight_fn is None:
         if policy is None:
             weight_fn = lambda l1, l2: 1.0  # noqa: E731 - all VLB
         else:
-            weight_fn = weights_for_policy(policy)
+            try:
+                weight_fn = weights_for_policy(policy)
+            except TypeError:
+                # no class-weight translation (e.g. OrderedVlbPolicy):
+                # enumerate the policy's own per-pair candidate set, so
+                # the class table *is* the set and all-ones weights are
+                # exact.  ValueError (sub-class-granularity policies)
+                # still propagates: those are not modelable at all.
+                exact_policy = policy
+                weight_fn = lambda l1, l2: 1.0  # noqa: E731
     if cache is None:
         cache = PathStatsCache(topo, max_descriptors=max_descriptors)
     chidx = cache.chidx
+
+    def pair_stats(s: int, d: int):
+        if exact_policy is not None:
+            return cache.policy_pair_stats(exact_policy, s, d)
+        return cache.get(s, d)
 
     pairs: List[Tuple[int, int, float]] = [
         (s, d, float(demand[s, d]))
@@ -173,7 +188,7 @@ def model_throughput(
     class_size: Dict[int, float] = {}  # var -> effective path count
 
     for k, (s, d, _w) in enumerate(pairs):
-        stats = cache.get(s, d)
+        stats = pair_stats(s, d)
         entries: List[Tuple[int, float, Dict[int, float]]] = []
         if mode == "uniform":
             total, usage = stats.weighted_vlb_usage(weight_fn)
@@ -224,7 +239,7 @@ def model_throughput(
         return r
 
     for k, (s, d, _w) in enumerate(pairs):
-        stats = cache.get(s, d)
+        stats = pair_stats(s, d)
         for idx, uses in stats.min_usage.items():
             add(channel_row_of(idx), var_x(k), uses)
         for var, _count, usage in vlb_vars[k]:

@@ -23,6 +23,7 @@ import numpy as np
 from repro.routing.channels import ChannelIndex
 from repro.routing.minimal import min_paths
 from repro.routing.paths import Path
+from repro.routing.pathset import PathPolicy
 from repro.routing.vlb import (
     count_vlb_paths,
     enumerate_vlb_descriptors,
@@ -30,7 +31,12 @@ from repro.routing.vlb import (
 )
 from repro.topology.dragonfly import Dragonfly
 
-__all__ = ["ClassStats", "PairPathStats", "PathStatsCache"]
+__all__ = [
+    "ClassStats",
+    "PairPathStats",
+    "PathStatsCache",
+    "compute_policy_pair_stats",
+]
 
 LegSplit = Tuple[int, int]
 
@@ -102,12 +108,7 @@ def compute_pair_stats(
     seed: int = 0,
 ) -> PairPathStats:
     """Enumerate (or subsample) the pair's paths and aggregate usage."""
-    mins = min_paths(topo, src, dst)
-    min_usage: Dict[int, float] = {}
-    for p in mins:
-        for ch in p.channels():
-            idx = chidx.index(ch)
-            min_usage[idx] = min_usage.get(idx, 0.0) + 1.0 / len(mins)
+    min_count, min_usage = _min_stats(topo, chidx, src, dst)
 
     classes: Dict[LegSplit, ClassStats] = {}
     total = count_vlb_paths(topo, src, dst)
@@ -133,7 +134,64 @@ def compute_pair_stats(
         for cs in classes.values():
             cs.count *= stride
             cs.usage = {k: v * stride for k, v in cs.usage.items()}
-    return PairPathStats(src, dst, len(mins), min_usage, classes)
+    return PairPathStats(src, dst, min_count, min_usage, classes)
+
+
+def _min_stats(
+    topo: Dragonfly, chidx: ChannelIndex, src: int, dst: int
+) -> Tuple[int, Dict[int, float]]:
+    mins = min_paths(topo, src, dst)
+    min_usage: Dict[int, float] = {}
+    for p in mins:
+        for ch in p.channels():
+            idx = chidx.index(ch)
+            min_usage[idx] = min_usage.get(idx, 0.0) + 1.0 / len(mins)
+    return len(mins), min_usage
+
+
+def compute_policy_pair_stats(
+    topo: Dragonfly,
+    chidx: ChannelIndex,
+    policy: PathPolicy,
+    src: int,
+    dst: int,
+    max_descriptors: Optional[int] = None,
+    seed: int = 0,
+) -> PairPathStats:
+    """Pair stats over exactly the paths a policy admits.
+
+    The exact-enumeration sibling of :func:`compute_pair_stats` for
+    policies that have no leg-split class-weight translation (e.g. the
+    ordered-intermediate family): the policy's own ``iter_descriptors``
+    drives enumeration, so the class table *is* the candidate set and
+    downstream weighting with the all-ones weight function is exact.
+    """
+    min_count, min_usage = _min_stats(topo, chidx, src, dst)
+    descs = list(policy.iter_descriptors(topo, src, dst))
+    stride = 1
+    if max_descriptors is not None and len(descs) > max_descriptors:
+        stride = -(-len(descs) // max_descriptors)  # ceil division
+    offset = 0
+    if stride > 1:
+        offset = int(
+            np.random.default_rng((seed, src, dst)).integers(stride)
+        )
+    from repro.routing.vlb import vlb_leg_hops
+
+    classes: Dict[LegSplit, ClassStats] = {}
+    for i, desc in enumerate(descs):
+        if stride > 1 and (i - offset) % stride != 0:
+            continue
+        split = vlb_leg_hops(topo, src, dst, desc)
+        cs = classes.setdefault(split, ClassStats())
+        cs.add_path(chidx, vlb_path(topo, src, dst, desc))
+    if stride > 1:
+        # repro: allow[DET102]: per-value scaling of independent entries;
+        # no cross-element accumulation, so order cannot matter
+        for cs in classes.values():
+            cs.count *= stride
+            cs.usage = {k: v * stride for k, v in cs.usage.items()}
+    return PairPathStats(src, dst, min_count, min_usage, classes)
 
 
 class PathStatsCache:
@@ -151,6 +209,9 @@ class PathStatsCache:
         self.max_descriptors = max_descriptors
         self.seed = seed
         self._cache: Dict[Tuple[int, int], PairPathStats] = {}
+        self._policy_cache: Dict[
+            Tuple[PathPolicy, int, int], PairPathStats
+        ] = {}
 
     def get(self, src: int, dst: int) -> PairPathStats:
         key = (src, dst)
@@ -165,6 +226,26 @@ class PathStatsCache:
                 seed=self.seed,
             )
             self._cache[key] = stats
+        return stats
+
+    def policy_pair_stats(
+        self, policy: PathPolicy, src: int, dst: int
+    ) -> PairPathStats:
+        """Memoized :func:`compute_policy_pair_stats` (policies are
+        frozen/hashable, so equal policies share entries)."""
+        key = (policy, src, dst)
+        stats = self._policy_cache.get(key)
+        if stats is None:
+            stats = compute_policy_pair_stats(
+                self.topo,
+                self.chidx,
+                policy,
+                src,
+                dst,
+                max_descriptors=self.max_descriptors,
+                seed=self.seed,
+            )
+            self._policy_cache[key] = stats
         return stats
 
     def __len__(self) -> int:

@@ -47,6 +47,7 @@ from repro.sim.network import Network, Router, SimChannel
 from repro.sim.packet import Packet
 from repro.sim.params import SimParams
 from repro.sim.sweep import latency_vs_load
+from repro.topology import default_dragonfly
 from repro.topology.dragonfly import Dragonfly
 from repro.traffic.patterns import UniformRandom
 
@@ -337,7 +338,7 @@ def bench_engine(
     scheduler interference only ever adds time.  Both engines must
     produce bit-identical results (asserted in the record).
     """
-    topo = topo if topo is not None else Dragonfly(4, 8, 4, 9)
+    topo = topo if topo is not None else default_dragonfly()
     params = SimParams(window_cycles=window_cycles)
     pattern = UniformRandom(topo)
 
@@ -402,7 +403,7 @@ def bench_array(
     from repro.sim.array import ArrayNetwork
     from repro.sim.array.native import native_available
 
-    topo = topo if topo is not None else Dragonfly(4, 8, 4, 9)
+    topo = topo if topo is not None else default_dragonfly()
     pattern = UniformRandom(topo)
     wheel_params = SimParams(window_cycles=window_cycles)
     array_params = SimParams(window_cycles=window_cycles, engine="array")
@@ -460,7 +461,7 @@ def bench_obs(
     """
     from repro.sim.engine import simulate
 
-    topo = topo if topo is not None else Dragonfly(4, 8, 4, 9)
+    topo = topo if topo is not None else default_dragonfly()
     pattern = UniformRandom(topo)
     base_params = SimParams(window_cycles=window_cycles)
     noop_params = base_params.with_obs(ObsConfig())
@@ -514,7 +515,7 @@ def bench_sweep(
     reading the trajectory record.  The skip is annotated in
     ``parallel_skipped`` and the speedup fields are ``None``.
     """
-    topo = topo if topo is not None else Dragonfly(4, 8, 4, 9)
+    topo = topo if topo is not None else default_dragonfly()
     params = SimParams(window_cycles=window_cycles)
     pattern = UniformRandom(topo)
     if jobs is None:
@@ -621,7 +622,7 @@ def bench_model(
     from repro.perf import executor as executor_module
     from repro.traffic.adversarial import type_1_set, type_2_set
 
-    topo = topo if topo is not None else Dragonfly(4, 8, 4, 9)
+    topo = topo if topo is not None else default_dragonfly()
 
     grid = table1_datapoints(step=0.25, seed=seed)[:num_datapoints]
     num_t2 = min(3, num_patterns)

@@ -40,6 +40,7 @@ __all__ = [
     "PathPolicy",
     "AllVlbPolicy",
     "HopClassPolicy",
+    "OrderedVlbPolicy",
     "StrategicFiveHopPolicy",
     "ExcludingPolicy",
     "ExplicitPathSet",
@@ -257,6 +258,46 @@ class HopClassPolicy(PathPolicy):
             f"{int(round(self.extra_fraction * 100))}% "
             f"{self.full_hops + 1}-hop"
         )
+
+
+@dataclass(frozen=True)
+class OrderedVlbPolicy(PathPolicy):
+    """VLB restricted to intermediate switches larger than both endpoints,
+    plus an optional deterministic ``fraction`` of those intermediates.
+
+    The restriction ``mid > max(src, dst)`` is the HOTI'25-style
+    deadlock-freedom argument for direct topologies without local hops
+    (e.g. :class:`~repro.topology.fullmesh.FullMesh`): every channel
+    dependency then points from a channel *entering* ``mid`` to one
+    *leaving* ``mid`` with ``mid`` above both far endpoints, so no two
+    dependencies can chain and the single-VC channel dependency graph is
+    acyclic.  On topologies with intra-group hops the argument does not
+    apply -- there the usual VC ladders do the protecting.
+
+    Pairs involving the largest switch have no admissible intermediate;
+    the routing layer degrades those pairs to MIN-only (exactly the
+    paper's behaviour for pairs whose restricted set is empty).
+    """
+
+    fraction: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+
+    def contains(self, topo, src, dst, desc) -> bool:
+        if desc.mid <= src or desc.mid <= dst:
+            return False
+        if self.fraction >= 1.0:
+            return True
+        quota = int(round(self.fraction * 10_000))
+        return _mix(self.seed, src, dst, desc) % 10_000 < quota
+
+    def describe(self) -> str:
+        if self.fraction >= 1.0:
+            return "ordered VLB"
+        return f"{int(round(self.fraction * 100))}% ordered VLB"
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,7 @@ from repro.routing.pathset import (
     ExcludingPolicy,
     ExplicitPathSet,
     HopClassPolicy,
+    OrderedVlbPolicy,
     PathPolicy,
     StrategicFiveHopPolicy,
 )
@@ -39,6 +40,12 @@ def policy_to_dict(policy: PathPolicy) -> Dict:
         }
     if isinstance(policy, StrategicFiveHopPolicy):
         return {"kind": "strategic", "order": policy.order}
+    if isinstance(policy, OrderedVlbPolicy):
+        return {
+            "kind": "ordered",
+            "fraction": policy.fraction,
+            "seed": policy.seed,
+        }
     if isinstance(policy, ExcludingPolicy):
         return {
             "kind": "excluding",
@@ -80,6 +87,10 @@ def policy_from_dict(data: Dict) -> PathPolicy:
         )
     if kind == "strategic":
         return StrategicFiveHopPolicy(order=data["order"])
+    if kind == "ordered":
+        return OrderedVlbPolicy(
+            fraction=data["fraction"], seed=data.get("seed", 0)
+        )
     if kind == "excluding":
         return ExcludingPolicy(
             base=policy_from_dict(data["base"]),

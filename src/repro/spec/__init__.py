@@ -25,6 +25,7 @@ from repro.spec.registry import (
     Registry,
     RegistryEntry,
     SpecError,
+    TOPOLOGY_REGISTRY,
     TRAFFIC_REGISTRY,
 )
 from repro.spec.builtins import resolve_routing, strategy_for
@@ -53,6 +54,7 @@ __all__ = [
     "SpecError",
     "SuiteSpec",
     "SweepSpec",
+    "TOPOLOGY_REGISTRY",
     "TopologySpec",
     "TRAFFIC_REGISTRY",
     "canonical_json",

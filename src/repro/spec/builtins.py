@@ -1,9 +1,10 @@
-"""Built-in registrations: every shipped pattern, policy, and variant.
+"""Built-in registrations: every shipped pattern, policy, variant, topology.
 
 Importing this module (which ``repro.spec``'s package init does eagerly)
 fills :data:`~repro.spec.registry.TRAFFIC_REGISTRY`,
-:data:`~repro.spec.registry.POLICY_REGISTRY`, and
-:data:`~repro.spec.registry.ROUTING_REGISTRY` with the package's own
+:data:`~repro.spec.registry.POLICY_REGISTRY`,
+:data:`~repro.spec.registry.ROUTING_REGISTRY`, and
+:data:`~repro.spec.registry.TOPOLOGY_REGISTRY` with the package's own
 kinds.  Third-party code registers additional kinds the same way -- see
 ``docs/architecture.md`` for a walkthrough.
 
@@ -21,6 +22,7 @@ from repro.routing.pathset import (
     ExcludingPolicy,
     ExplicitPathSet,
     HopClassPolicy,
+    OrderedVlbPolicy,
     StrategicFiveHopPolicy,
 )
 from repro.routing.serialization import policy_from_dict, policy_to_dict
@@ -37,9 +39,12 @@ from repro.spec.registry import (
     ROUTING_REGISTRY,
     RegistryEntry,
     SpecError,
+    TOPOLOGY_REGISTRY,
     TRAFFIC_REGISTRY,
 )
+from repro.topology.cascade import CascadeDragonfly
 from repro.topology.dragonfly import Dragonfly
+from repro.topology.fullmesh import FullMesh
 from repro.traffic.mixed import Mixed, TimeMixed
 from repro.traffic.patterns import (
     GroupSwitchPermutation,
@@ -267,6 +272,31 @@ POLICY_REGISTRY.register(RegistryEntry(
     help="strategic:2+3|3+2",
     example="strategic:2+3",
 ))
+def _parse_ordered(args: str, spec: str) -> Dict[str, Any]:
+    parts = args.split(",") if args else []
+    try:
+        frac = float(parts[0]) if parts else 1.0
+        seed = int(parts[1]) if len(parts) > 1 else 0
+        if len(parts) > 2:
+            raise ValueError
+    except ValueError:
+        raise SpecError(
+            f"bad policy spec {spec!r}: ordered needs [FRAC[,SEED]]"
+        ) from None
+    return {"fraction": frac, "seed": seed}
+
+
+POLICY_REGISTRY.register(RegistryEntry(
+    kind="ordered",
+    build=lambda args: OrderedVlbPolicy(
+        fraction=args.get("fraction", 1.0), seed=args.get("seed", 0)
+    ),
+    to_dict=lambda p: {"fraction": float(p.fraction), "seed": p.seed},
+    parse=_parse_ordered,
+    cls=OrderedVlbPolicy,
+    help="ordered[:FRAC]",
+    example="ordered:0.5",
+))
 POLICY_REGISTRY.register(RegistryEntry(
     kind="excluding",
     build=_build_excluding,
@@ -278,6 +308,86 @@ POLICY_REGISTRY.register(RegistryEntry(
     build=_build_explicit,
     to_dict=_explicit_to_dict,
     cls=ExplicitPathSet,
+))
+
+
+# ---------------------------------------------------------------------------
+# Topologies
+# ---------------------------------------------------------------------------
+def _parse_dfly(args: str, spec: str) -> Dict[str, Any]:
+    try:
+        p, a, h, g = (int(x) for x in args.split(","))
+    except ValueError:
+        raise SpecError(
+            f"bad topology spec {spec!r}: dfly needs P,A,H,G"
+        ) from None
+    return {"p": p, "a": a, "h": h, "g": g, "arrangement": "absolute"}
+
+
+def _parse_cascade(args: str, spec: str) -> Dict[str, Any]:
+    try:
+        p, a, h, g, rows, cols = (int(x) for x in args.split(","))
+    except ValueError:
+        raise SpecError(
+            f"bad topology spec {spec!r}: cascade needs P,A,H,G,ROWS,COLS"
+        ) from None
+    return {
+        "p": p, "a": a, "h": h, "g": g,
+        "arrangement": "absolute", "rows": rows, "cols": cols,
+    }
+
+
+def _parse_fullmesh(args: str, spec: str) -> Dict[str, Any]:
+    try:
+        parts = [int(x) for x in args.split(",")] if args else []
+        if not 1 <= len(parts) <= 2:
+            raise ValueError
+    except ValueError:
+        raise SpecError(
+            f"bad topology spec {spec!r}: full-mesh needs N[,P]"
+        ) from None
+    return {"n": parts[0], "p": parts[1] if len(parts) > 1 else 1}
+
+
+TOPOLOGY_REGISTRY.register(RegistryEntry(
+    kind="dfly",
+    build=lambda args: Dragonfly(
+        args["p"], args["a"], args["h"], args["g"],
+        arrangement=args.get("arrangement", "absolute"),
+    ),
+    to_dict=lambda t: {
+        "p": t.p, "a": t.a, "h": t.h, "g": t.g,
+        "arrangement": t.arrangement,
+    },
+    parse=_parse_dfly,
+    cls=Dragonfly,
+    help="dfly:P,A,H,G (or bare P,A,H,G)",
+    example="dfly:4,8,4,9",
+))
+TOPOLOGY_REGISTRY.register(RegistryEntry(
+    kind="cascade",
+    build=lambda args: CascadeDragonfly(
+        args["p"], args["a"], args["h"], args["g"],
+        arrangement=args.get("arrangement", "absolute"),
+        rows=args["rows"], cols=args["cols"],
+    ),
+    to_dict=lambda t: {
+        "p": t.p, "a": t.a, "h": t.h, "g": t.g,
+        "arrangement": t.arrangement, "rows": t.rows, "cols": t.cols,
+    },
+    parse=_parse_cascade,
+    cls=CascadeDragonfly,
+    help="cascade:P,A,H,G,ROWS,COLS",
+    example="cascade:2,4,2,5,2,2",
+))
+TOPOLOGY_REGISTRY.register(RegistryEntry(
+    kind="full-mesh",
+    build=lambda args: FullMesh(args["n"], p=args.get("p", 1)),
+    to_dict=lambda t: {"n": t.n, "p": t.p},
+    parse=_parse_fullmesh,
+    cls=FullMesh,
+    help="full-mesh:N[,P]",
+    example="full-mesh:16,4",
 ))
 
 

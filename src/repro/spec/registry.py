@@ -24,6 +24,7 @@ __all__ = [
     "RegistryEntry",
     "ROUTING_REGISTRY",
     "SpecError",
+    "TOPOLOGY_REGISTRY",
     "TRAFFIC_REGISTRY",
 ]
 
@@ -173,3 +174,4 @@ class Registry:
 TRAFFIC_REGISTRY = Registry("TRAFFIC_REGISTRY", "pattern")
 POLICY_REGISTRY = Registry("POLICY_REGISTRY", "policy")
 ROUTING_REGISTRY = Registry("ROUTING_REGISTRY", "routing variant")
+TOPOLOGY_REGISTRY = Registry("TOPOLOGY_REGISTRY", "topology")

@@ -31,9 +31,9 @@ from repro.spec.builtins import resolve_routing
 from repro.spec.registry import (
     POLICY_REGISTRY,
     SpecError,
+    TOPOLOGY_REGISTRY,
     TRAFFIC_REGISTRY,
 )
-from repro.topology.cascade import CascadeDragonfly
 from repro.topology.dragonfly import Dragonfly
 
 __all__ = [
@@ -181,10 +181,22 @@ class PolicySpec:
 # ---------------------------------------------------------------------------
 # Topology spec
 # ---------------------------------------------------------------------------
+# The dragonfly family predates the TOPOLOGY registry; its specs keep the
+# original kindless field/dict layout so every existing fingerprint and
+# cache key stays byte-identical.  Newer kinds carry their canonical args
+# in ``args_json`` and serialize with an explicit ``kind`` key.
+_DFLY_FAMILY_KINDS = ("dfly", "cascade")
+
+
 @dataclass(frozen=True)
 class TopologySpec:
-    """``dfly(p, a, h, g)`` plus arrangement; ``rows``/``cols`` nonzero
-    select the Cascade 2D all-to-all group variant."""
+    """Declarative identity of a registered topology.
+
+    The ``dfly`` family (plain + Cascade) is stored in the historical
+    ``p/a/h/g/arrangement[/rows/cols]`` fields; other registered kinds
+    keep those fields as their structural dragonfly-equivalent parameters
+    and carry the registry's canonical args in ``args_json``.
+    """
 
     p: int
     a: int
@@ -193,57 +205,90 @@ class TopologySpec:
     arrangement: str = "absolute"
     rows: int = 0
     cols: int = 0
+    kind: str = "dfly"
+    args_json: str = ""  # repro: identity-key[args]
 
-    @classmethod
-    def parse(
-        cls, spec: str, arrangement: str = "absolute"
-    ) -> "TopologySpec":
-        """From the CLI form ``P,A,H,G`` (e.g. ``4,8,4,9``)."""
-        try:
-            p, a, h, g = (int(x) for x in spec.split(","))
-        except ValueError:
-            raise SpecError(
-                f"bad topology spec {spec!r}: expected P,A,H,G "
-                f"(e.g. 4,8,4,9)"
-            ) from None
-        return cls(p, a, h, g, arrangement)
+    @property
+    def effective_kind(self) -> str:
+        """The registry kind, resolving the historical rows/cols
+        convention (nonzero rows/cols on a ``dfly`` spec = Cascade)."""
+        if self.kind == "dfly" and (self.rows or self.cols):
+            return "cascade"
+        return self.kind
 
-    @classmethod
-    def of(cls, topo: Dragonfly) -> "TopologySpec":
-        if type(topo) is CascadeDragonfly:
-            return cls(
-                topo.p, topo.a, topo.h, topo.g, topo.arrangement,
-                rows=topo.rows, cols=topo.cols,
-            )
-        if type(topo) is Dragonfly:
-            return cls(topo.p, topo.a, topo.h, topo.g, topo.arrangement)
-        raise SpecError(
-            f"no registered spec for topology type {type(topo).__name__}"
-        )
-
-    def build(self) -> Dragonfly:
-        if self.rows or self.cols:
-            return CascadeDragonfly(
-                self.p, self.a, self.h, self.g,
-                arrangement=self.arrangement,
-                rows=self.rows, cols=self.cols,
-            )
-        return Dragonfly(
-            self.p, self.a, self.h, self.g, arrangement=self.arrangement
-        )
-
-    def to_dict(self) -> Dict[str, Any]:
+    @property
+    def args(self) -> Dict[str, Any]:
+        """The registry's canonical argument dict for this spec."""
+        if self.args_json:
+            return json.loads(self.args_json)
         data: Dict[str, Any] = {
             "p": self.p, "a": self.a, "h": self.h, "g": self.g,
             "arrangement": self.arrangement,
         }
-        if self.rows or self.cols:
+        if self.effective_kind == "cascade":
             data["rows"] = self.rows
             data["cols"] = self.cols
         return data
 
     @classmethod
+    def parse(
+        cls, spec: str, arrangement: str = "absolute"
+    ) -> "TopologySpec":
+        """From the CLI forms ``P,A,H,G`` (bare dragonfly, e.g.
+        ``4,8,4,9``) or ``KIND:ARGS`` (e.g. ``full-mesh:16,4``)."""
+        head = spec.split(":", 1)[0].strip().lower()
+        if head not in TOPOLOGY_REGISTRY:
+            try:
+                p, a, h, g = (int(x) for x in spec.split(","))
+            except ValueError:
+                raise SpecError(
+                    f"bad topology spec {spec!r}: expected P,A,H,G "
+                    f"(e.g. 4,8,4,9) or KIND:ARGS "
+                    f"({TOPOLOGY_REGISTRY.help_text()})"
+                ) from None
+            return cls(p, a, h, g, arrangement)
+        kind, args = TOPOLOGY_REGISTRY.parse(spec)
+        if "arrangement" in args:
+            args["arrangement"] = arrangement
+        return cls.of(TOPOLOGY_REGISTRY.build(kind, args))
+
+    @classmethod
+    def of(cls, topo: Dragonfly) -> "TopologySpec":
+        """From a live topology (exactly registered types only)."""
+        kind, args = TOPOLOGY_REGISTRY.spec_of(topo)
+        if kind in _DFLY_FAMILY_KINDS:
+            return cls(
+                args["p"], args["a"], args["h"], args["g"],
+                args.get("arrangement", "absolute"),
+                rows=args.get("rows", 0), cols=args.get("cols", 0),
+            )
+        return cls(
+            topo.p, topo.a, topo.h, topo.g, topo.arrangement,
+            kind=kind, args_json=canonical_json(args),
+        )
+
+    def build(self) -> Dragonfly:
+        return TOPOLOGY_REGISTRY.build(self.effective_kind, self.args)
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.effective_kind in _DFLY_FAMILY_KINDS:
+            # historical kindless layout (fingerprint/cache compatible)
+            data: Dict[str, Any] = {
+                "p": self.p, "a": self.a, "h": self.h, "g": self.g,
+                "arrangement": self.arrangement,
+            }
+            if self.rows or self.cols:
+                data["rows"] = self.rows
+                data["cols"] = self.cols
+            return data
+        return {"kind": self.kind, "args": self.args}
+
+    @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TopologySpec":
+        if "kind" in data:
+            kind = data["kind"]
+            args = data.get("args", {})
+            return cls.of(TOPOLOGY_REGISTRY.build(kind, args))
         return cls(
             data["p"], data["a"], data["h"], data["g"],
             data.get("arrangement", "absolute"),

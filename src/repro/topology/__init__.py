@@ -1,10 +1,16 @@
-"""Dragonfly topology substrate.
+"""Topology substrate: the ``Topology`` protocol and its implementations.
 
-Implements the ``dfly(p, a, h, g)`` family used throughout the paper:
-fully-connected intra-group topology, configurable number of groups, and
-several inter-group (global) link arrangements.  The paper's experiments use
-a minor variation of the *absolute* arrangement that forms bidirectional
+Implements the ``dfly(p, a, h, g)`` family used throughout the paper --
+fully-connected intra-group topology, configurable number of groups,
+several inter-group (global) link arrangements -- plus the variations
+that exercise the abstraction: the Cascade-style 2D all-to-all group and
+the full mesh (one switch per group).  The paper's experiments use a
+minor variation of the *absolute* arrangement that forms bidirectional
 dragonflies for any number of groups; that is the default here.
+
+Every topology class is registered with a serialization codec in
+``repro.spec``'s ``TOPOLOGY_REGISTRY``; see ``docs/topologies.md`` for
+how to add one.
 """
 
 from repro.topology.arrangements import (
@@ -12,16 +18,32 @@ from repro.topology.arrangements import (
     circulant_arrangement,
     relative_arrangement,
 )
+from repro.topology.base import Topology
 from repro.topology.cascade import CascadeDragonfly
 from repro.topology.dragonfly import Dragonfly, GlobalLink
+from repro.topology.fullmesh import FullMesh
 from repro.topology.validate import validate_topology
 
 __all__ = [
+    "Topology",
     "Dragonfly",
     "CascadeDragonfly",
+    "FullMesh",
     "GlobalLink",
+    "DEFAULT_DRAGONFLY",
+    "default_dragonfly",
     "absolute_arrangement",
     "relative_arrangement",
     "circulant_arrangement",
     "validate_topology",
 ]
+
+# The paper's reference configuration ``dfly(4, 8, 4, 9)`` (Table 2, used
+# by most figures and as the bench/CLI default).  Treat the shared
+# instance as read-only; call :func:`default_dragonfly` for a private one.
+DEFAULT_DRAGONFLY = Dragonfly(4, 8, 4, 9)
+
+
+def default_dragonfly() -> Dragonfly:
+    """A fresh instance of the paper's default ``dfly(4, 8, 4, 9)``."""
+    return Dragonfly(4, 8, 4, 9)

@@ -19,11 +19,14 @@ The balanced, maximum-size dragonfly of Kim et al. is recovered with
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import networkx as nx
 
 from repro.topology.arrangements import ARRANGEMENTS, GlobalLinkSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.routing.pathset import PathPolicy
 
 __all__ = ["Dragonfly", "GlobalLink"]
 
@@ -231,6 +234,46 @@ class Dragonfly:
             for other in range(self.g)
             if other != group and self.links_between_groups(group, other)
         ]
+
+    # ------------------------------------------------------------------
+    # Per-topology Algorithm-1 / verification hooks (Topology protocol)
+    # ------------------------------------------------------------------
+    @property
+    def deadlock_vc_scheme(self) -> Optional[str]:
+        """VC scheme whose CDG analysis certifies this topology's path
+        sets deadlock-free, or ``None`` to certify under the simulation
+        VC scheme.  Dragonfly path sets rely on the Won et al. / per-hop
+        VC ladders, so the simulation scheme is the right certificate.
+        """
+        return None
+
+    @property
+    def default_model_engine(self) -> str:
+        """Preferred Step-1 LP engine (``"fast"`` or ``"legacy"``)."""
+        return "fast"
+
+    def tvlb_datapoints(
+        self, step: float = 0.25, seed: int = 0
+    ) -> List["PathPolicy"]:
+        """Algorithm 1's Step-1 candidate grid for this topology.
+
+        Dragonflies sweep the paper's Table-1 hop-class grid; topologies
+        with a different path-length structure override this with their
+        own candidate family.
+        """
+        # lazy import: repro.core sits above the topology layer
+        from repro.core.datapoints import table1_datapoints
+
+        return list(table1_datapoints(step=step, seed=seed))
+
+    def baseline_policy(self) -> Optional["PathPolicy"]:
+        """The conventional-routing candidate Algorithm 1 always scores
+        alongside the restricted sets (``None`` = no extra baseline --
+        the grid's largest set already is the conventional one)."""
+        # lazy import: repro.routing sits above the topology layer
+        from repro.routing.pathset import AllVlbPolicy
+
+        return AllVlbPolicy()
 
     # ------------------------------------------------------------------
     # Export

@@ -17,9 +17,10 @@ Checks, per registry:
 * the parsed canonical args build a live object, the live object's type
   matches the registered ``cls``, and -- when a ``to_dict`` codec exists --
   the object round-trips back to the identical canonical args;
-* the resulting spec (:class:`~repro.spec.PatternSpec` /
-  :class:`~repro.spec.PolicySpec`) survives ``to_dict``/``from_dict`` and
-  keeps a stable fingerprint across the round trip;
+* the resulting spec (:class:`~repro.spec.TopologySpec` /
+  :class:`~repro.spec.PatternSpec` / :class:`~repro.spec.PolicySpec`)
+  survives ``to_dict``/``from_dict`` and keeps a stable fingerprint
+  across the round trip;
 * routing entries build :class:`~repro.sim.strategies.RoutingStrategy`
   instances and their ``accepts_policy`` flags agree with
   :func:`~repro.spec.resolve_routing`'s T- form gate.
@@ -135,6 +136,40 @@ def _check_policies(problems: List[str]) -> None:
             )
 
 
+def _check_topologies(problems: List[str]) -> None:
+    from repro.spec import TOPOLOGY_REGISTRY, TopologySpec
+
+    _check_example(TOPOLOGY_REGISTRY, problems)
+    for entry in TOPOLOGY_REGISTRY:
+        if entry.parse is None or not entry.example:
+            continue
+        where = f"TOPOLOGY_REGISTRY[{entry.kind!r}]"
+        try:
+            spec = TopologySpec.parse(entry.example)
+            topo = spec.build()
+        except Exception as exc:  # noqa: BLE001
+            problems.append(f"{where}: example does not build: {exc}")
+            continue
+        if entry.cls is not None and type(topo) is not entry.cls:
+            problems.append(
+                f"{where}: example built a {type(topo).__name__}, "
+                f"registered class is {entry.cls.__name__}"
+            )
+            continue
+        if entry.to_dict is not None:
+            recovered = TopologySpec.of(topo)
+            if recovered != spec:
+                problems.append(
+                    f"{where}: build/of round trip changed the spec: "
+                    f"{spec.to_dict()!r} vs {recovered.to_dict()!r}"
+                )
+        round_trip = TopologySpec.from_dict(spec.to_dict())
+        if round_trip != spec or round_trip.fingerprint() != spec.fingerprint():
+            problems.append(
+                f"{where}: to_dict/from_dict round trip is unstable"
+            )
+
+
 def _check_routing(problems: List[str]) -> None:
     from repro.sim.routing import ROUTING_VARIANTS
     from repro.sim.strategies import RoutingStrategy
@@ -181,6 +216,7 @@ def _check_routing(problems: List[str]) -> None:
 def check_registries() -> List[str]:
     """Run every registry consistency check; return the problems found."""
     problems: List[str] = []
+    _check_topologies(problems)
     _check_traffic(problems)
     _check_policies(problems)
     _check_routing(problems)
@@ -193,10 +229,16 @@ def main() -> int:
         print(f"FAIL: {problem}")
     if problems:
         return 1
-    from repro.spec import POLICY_REGISTRY, ROUTING_REGISTRY, TRAFFIC_REGISTRY
+    from repro.spec import (
+        POLICY_REGISTRY,
+        ROUTING_REGISTRY,
+        TOPOLOGY_REGISTRY,
+        TRAFFIC_REGISTRY,
+    )
 
     print(
         "registry consistency OK: "
+        f"{len(TOPOLOGY_REGISTRY)} topologies, "
         f"{len(TRAFFIC_REGISTRY)} patterns, "
         f"{len(POLICY_REGISTRY)} policies, "
         f"{len(ROUTING_REGISTRY)} routing variants"

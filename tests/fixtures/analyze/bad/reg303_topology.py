@@ -1,0 +1,18 @@
+"""A Dragonfly subclass never registered: unspecc'able topology."""
+
+
+class RegistryEntry:
+    def __init__(self, kind, cls, to_dict=None):
+        self.kind = kind
+        self.cls = cls
+        self.to_dict = to_dict
+
+
+class Dragonfly:
+    def __init__(self, p: int, a: int, h: int, g: int) -> None:
+        self.p, self.a, self.h, self.g = p, a, h, g
+
+
+class TorusDragonfly(Dragonfly):  # REG303: not in the TOPOLOGY registry
+    def __init__(self, p: int, k: int) -> None:
+        super().__init__(p, k, 1, k)

@@ -1,0 +1,25 @@
+"""A Dragonfly subclass registered with its round-trip codec."""
+
+
+class RegistryEntry:
+    def __init__(self, kind, cls, to_dict=None):
+        self.kind = kind
+        self.cls = cls
+        self.to_dict = to_dict
+
+
+class Dragonfly:
+    def __init__(self, p: int, a: int, h: int, g: int) -> None:
+        self.p, self.a, self.h, self.g = p, a, h, g
+
+
+class TorusDragonfly(Dragonfly):
+    def __init__(self, p: int, k: int) -> None:
+        super().__init__(p, k, 1, k)
+
+
+ENTRY = RegistryEntry(
+    kind="torus",
+    cls=TorusDragonfly,
+    to_dict=lambda t: {"p": t.p, "k": t.a},
+)

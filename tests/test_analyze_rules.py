@@ -54,6 +54,7 @@ CASES = [
     ("CACHE202", "bad/cache202_spec_fields.py", 1,
      "clean/cache202_spec_fields.py"),
     ("REG302", "bad/reg302_codec.py", 1, "clean/reg302_codec.py"),
+    ("REG303", "bad/reg303_topology.py", 1, "clean/reg303_topology.py"),
 ]
 
 
