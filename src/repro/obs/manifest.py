@@ -70,6 +70,12 @@ class RunManifest:
     engine_cycles: Optional[int] = None
     cache: str = "computed"
     metrics: Optional[Dict[str, Any]] = None
+    # batched-execution runtime metadata (repro.sim.batch): how many
+    # runs shared the kernel calls and this run's slot in that batch.
+    # Environment fields, never identity -- a batched run is
+    # bit-identical to its single-run result
+    batch_size: Optional[int] = None
+    batch_slot: Optional[int] = None
 
     def identity(self) -> Dict[str, Any]:
         """The deterministic field subset: equal for equal specs.
@@ -97,6 +103,8 @@ class RunManifest:
             "engine_cycles": self.engine_cycles,
             "cache": self.cache,
             "metrics": self.metrics,
+            "batch_size": self.batch_size,
+            "batch_slot": self.batch_slot,
         }
 
     @classmethod
@@ -116,5 +124,7 @@ class RunManifest:
             "engine_cycles",
             "cache",
             "metrics",
+            "batch_size",
+            "batch_slot",
         }
         return cls(**{k: v for k, v in data.items() if k in known})

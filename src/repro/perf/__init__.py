@@ -3,6 +3,9 @@
 * :mod:`repro.perf.executor` -- :class:`SweepExecutor`, a process-pool
   fan-out for batches of independent ``simulate()`` points with a serial
   fallback and deterministic result ordering;
+* :mod:`repro.perf.planner` -- :class:`BatchPlanner`, which groups
+  compatible cache-miss payloads into multi-run ``simulate_batch``
+  units (bit-identical per run; purely a scheduling decision);
 * :mod:`repro.perf.cache` -- :class:`SimCache`, the content-addressed
   on-disk ``SimResult`` store with versioned invalidation;
 * :mod:`repro.perf.bench` -- the benchmark harness behind
@@ -23,8 +26,11 @@ from repro.perf.executor import (
     run_model_task,
     run_task,
 )
+from repro.perf.planner import BatchPlanner, BatchUnit
 
 __all__ = [
+    "BatchPlanner",
+    "BatchUnit",
     "CACHE_VERSION",
     "ModelTask",
     "SimCache",

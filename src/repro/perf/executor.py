@@ -163,6 +163,48 @@ def _run_payload_timed(
     return result, os.getpid(), started, time.time() - started
 
 
+def _run_unit_timed(
+    payloads: Sequence[Union[RunSpec, SimTask]],
+) -> List[Tuple[SimResult, int, float, float]]:
+    """Worker entry point for one planner unit (one or many payloads).
+
+    Multi-payload units run through :func:`repro.sim.batch.
+    simulate_batch` -- one batched engine advancing every run, each
+    result bit-identical to its single-run form.  A batch the host
+    cannot execute (no native kernel, incompatible members the planner
+    could not see) degrades to per-payload execution *inside the
+    worker*, so the parent never needs a second round trip.  Per-run
+    completion times come from the batch's ``on_result`` callback
+    (ragged batches finish runs at different cycles).
+    """
+    payloads = list(payloads)
+    started = time.time()
+    pid = os.getpid()
+    if len(payloads) > 1:
+        from repro.sim.batch import BatchUnsupported, simulate_batch
+
+        finished_at: Dict[int, float] = {}
+        try:
+            results = simulate_batch(
+                payloads,
+                on_result=lambda slot, _r: finished_at.__setitem__(
+                    slot, time.time()
+                ),
+            )
+        except BatchUnsupported:
+            _log.debug(
+                "batched unit of %d runs unsupported here; falling back "
+                "to per-run execution",
+                len(payloads),
+            )
+        else:
+            return [
+                (result, pid, started, finished_at.get(slot, time.time()) - started)
+                for slot, result in enumerate(results)
+            ]
+    return [_run_payload_timed(payload) for payload in payloads]
+
+
 @dataclass
 class ModelTask:
     """One independent LP-model solve (picklable).
@@ -326,6 +368,13 @@ def _run_model_payload_timed(
     return result, os.getpid(), started, time.time() - started
 
 
+def _run_model_unit_timed(
+    payloads: Sequence[Union[ModelSpec, ModelTask]],
+) -> List[Tuple[ModelResult, int, float, float]]:
+    """Model unit worker: solves are never batched, just mapped."""
+    return [_run_model_payload_timed(payload) for payload in payloads]
+
+
 class SweepExecutor:
     """Runs batches of :class:`SimTask` with optional pool and cache.
 
@@ -333,6 +382,14 @@ class SweepExecutor:
     ``cache`` an optional :class:`SimCache` consulted before simulating
     and filled afterwards.  The executor is reusable across batches (the
     pool persists until :meth:`close`) and usable as a context manager.
+
+    ``batch`` controls the :class:`~repro.perf.planner.BatchPlanner`
+    grouping of cache-miss sim payloads into multi-run
+    ``simulate_batch`` units (default: ``$REPRO_BATCH`` or the planner
+    default of 16): ``1`` disables batching, ``N > 1`` caps batch size
+    at ``N``.  Purely a scheduling knob -- batched results are
+    bit-identical to single-run results and cache/trace/progress stay
+    per-task -- so the serial ``jobs=1`` path batches too.
     """
 
     def __init__(
@@ -341,6 +398,7 @@ class SweepExecutor:
         cache: Optional[SimCache] = None,
         tracer: Optional[Tracer] = None,
         progress: Optional[ProgressReporter] = None,
+        batch: Optional[int] = None,
     ) -> None:
         if jobs is None:
             self.jobs = default_jobs()
@@ -356,6 +414,13 @@ class SweepExecutor:
                     cap,
                     "s" if cap != 1 else "",
                 )
+        if batch is None:
+            env = os.environ.get("REPRO_BATCH", "").strip()
+            try:
+                batch = int(env) if env else 0
+            except ValueError:
+                batch = 0
+        self.batch = max(0, int(batch))  # 0 = planner default
         self.cache = cache
         # explicit tracer wins; otherwise each batch picks up the
         # innermost capture() tracer active at call time (if any)
@@ -409,14 +474,21 @@ class SweepExecutor:
         cache_get: Optional[Callable],
         cache_put: Optional[Callable],
         kind: str = "sim",
+        plan: bool = False,
     ) -> List:
         """Shared batch machinery: cache consult -> pool/serial -> fill.
 
-        ``worker`` is a *timed* entry point returning ``(result, pid,
-        started, duration)``; results stream back in task order (both
+        ``worker`` is a *timed unit* entry point taking a list of
+        payloads and returning one ``(result, pid, started, duration)``
+        per payload; results stream back in unit order (both
         ``pool.map`` and the serial ``map`` are order-preserving and
         lazy), so progress heartbeats and trace events fire as each
-        point lands, not at batch end.
+        unit lands, not at batch end.  With ``plan=True`` the pending
+        cache misses are grouped into multi-run units by the
+        :class:`~repro.perf.planner.BatchPlanner` (see the ``batch``
+        constructor knob); otherwise every payload is its own unit and
+        the stream degenerates to the historical one-task-at-a-time
+        behavior.
         """
         tasks = list(tasks)
         tracer = self.tracer if self.tracer is not None else active_capture()
@@ -450,64 +522,84 @@ class SweepExecutor:
             pending.append((i, key, task))
 
         if pending:
+            payloads = [t.payload() for _i, _k, t in pending]
+            if plan and self.batch != 1 and len(pending) > 1:
+                from repro.perf.planner import (
+                    DEFAULT_MAX_BATCH,
+                    BatchPlanner,
+                )
+
+                planner = BatchPlanner(
+                    max_batch=(
+                        self.batch if self.batch > 1 else DEFAULT_MAX_BATCH
+                    ),
+                    jobs=self.jobs,
+                )
+                units = [u.indices for u in planner.plan(payloads)]
+            else:
+                units = [[j] for j in range(len(payloads))]
+            unit_payloads = [[payloads[j] for j in unit] for unit in units]
             pool = (
                 self._ensure_pool()
-                if self.jobs > 1 and len(pending) > 1
+                if self.jobs > 1 and len(units) > 1
                 else None
             )
-            payloads = [t.payload() for _i, _k, t in pending]
             if pool is not None:
-                stream = pool.map(worker, payloads)
+                stream = pool.map(worker, unit_payloads)
                 mode = "parallel"
                 self.computed_parallel += len(pending)
             else:
-                stream = map(worker, payloads)
+                stream = map(worker, unit_payloads)
                 mode = "serial"
                 self.computed_serial += len(pending)
-            for (i, key, task), computed in zip(pending, stream):
-                result, worker_pid, started, duration = computed
-                results[i] = result
-                if tracer is not None:
-                    label = self._task_label(task)
-                    tracer.extend(
-                        [
-                            {
-                                "type": "task_submitted",
-                                "t": wall_start,
-                                "kind": kind,
-                                "index": i,
-                                "label": label,
-                            },
-                            {
-                                "type": "task_started",
-                                "t": started,
-                                "kind": kind,
-                                "index": i,
-                                "label": label,
-                                "worker": worker_pid,
-                            },
-                        ]
-                    )
-                    tracer.record(
-                        "task_finished",
-                        kind=kind,
-                        index=i,
-                        label=label,
-                        worker=worker_pid,
-                        started=started,
-                        duration=duration,
-                        mode=mode,
-                    )
-                if progress is not None:
-                    progress.advance()
-                manifest = getattr(result, "manifest", None)
-                if cache_put is not None and key is not None:
-                    if manifest is not None:
-                        manifest.cache = "stored"
-                    cache_put(key, result)
-                elif cache_get is not None and manifest is not None:
-                    # a cache was consulted but this point has no key
-                    manifest.cache = "uncacheable"
+            for unit, computed_unit in zip(units, stream):
+                batched = len(unit) > 1
+                for j, computed in zip(unit, computed_unit):
+                    i, key, task = pending[j]
+                    result, worker_pid, started, duration = computed
+                    results[i] = result
+                    if tracer is not None:
+                        label = self._task_label(task)
+                        tracer.extend(
+                            [
+                                {
+                                    "type": "task_submitted",
+                                    "t": wall_start,
+                                    "kind": kind,
+                                    "index": i,
+                                    "label": label,
+                                },
+                                {
+                                    "type": "task_started",
+                                    "t": started,
+                                    "kind": kind,
+                                    "index": i,
+                                    "label": label,
+                                    "worker": worker_pid,
+                                },
+                            ]
+                        )
+                        tracer.record(
+                            "task_finished",
+                            kind=kind,
+                            index=i,
+                            label=label,
+                            worker=worker_pid,
+                            started=started,
+                            duration=duration,
+                            mode=mode,
+                            batched=batched,
+                        )
+                    if progress is not None:
+                        progress.advance()
+                    manifest = getattr(result, "manifest", None)
+                    if cache_put is not None and key is not None:
+                        if manifest is not None:
+                            manifest.cache = "stored"
+                        cache_put(key, result)
+                    elif cache_get is not None and manifest is not None:
+                        # a cache was consulted but this point has no key
+                        manifest.cache = "uncacheable"
         if tracer is not None:
             tracer.record(
                 "batch_end",
@@ -526,10 +618,11 @@ class SweepExecutor:
         cache = self.cache
         return self._execute(
             tasks,
-            _run_payload_timed,
+            _run_unit_timed,
             cache.get if cache is not None else None,
             cache.put if cache is not None else None,
             kind="sim",
+            plan=True,
         )
 
     def run_models(self, tasks: Sequence[ModelTask]) -> List[ModelResult]:
@@ -540,7 +633,7 @@ class SweepExecutor:
         cache = self.cache
         return self._execute(
             tasks,
-            _run_model_payload_timed,
+            _run_model_unit_timed,
             cache.get_model if cache is not None else None,
             cache.put_model if cache is not None else None,
             kind="model",

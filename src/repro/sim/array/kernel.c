@@ -62,7 +62,7 @@
 #include <stdint.h>
 #include <string.h>
 
-#define REPRO_ARRAYNET_ABI_VERSION 10
+#define REPRO_ARRAYNET_ABI_VERSION 11
 
 /* counters[] indices (shared with Python) */
 #define CNT_ACT 0 /* active routers in act_list */
@@ -861,4 +861,33 @@ int64_t repro_step_cycle(State *s, int64_t cycle, int64_t skip_credits)
     if (rc)
         return rc;
     return transmit(s, cycle, idx);
+}
+
+/* Batched multi-run entry point: advance `n` independent simulations by
+ * one cycle in a single call.  Runs are processed run-major -- each
+ * run's whole deliver -> crossbar -> transmit sequence completes before
+ * the next run's begins -- so per-run memory behavior is identical to
+ * `repro_step_cycle` and results are bit-identical by construction (the
+ * runs share no state).  The win lives in the Python driver above: the
+ * per-cycle interpreter work (revision pre-passes, growth checks,
+ * ejection-drain checks, the ctypes boundary) is paid once per batch
+ * instead of once per run.
+ *
+ * A phase-major variant with one-run-ahead prefetch priming was
+ * prototyped and measured SLOWER on the 1-CPU bench host (interleaving
+ * the runs' working sets evicts the per-run L2 reuse that run-major
+ * order preserves), so the simple loop is the deliberate final form.
+ *
+ * On a kernel invariant violation the failing run is encoded into the
+ * return code as `rc * 1000 + run_index` (codes are small positive
+ * ints, batches are far below 1000 runs). */
+int64_t repro_step_batch(State **ss, int64_t n, int64_t cycle,
+                         const int64_t *skip_credits)
+{
+    for (int64_t r = 0; r < n; r++) {
+        int64_t rc = repro_step_cycle(ss[r], cycle, skip_credits[r]);
+        if (rc)
+            return rc * 1000 + r;
+    }
+    return 0;
 }

@@ -59,7 +59,7 @@ __all__ = [
 
 _log = get_logger("sim.array.native")
 
-_ABI_VERSION = 10  # keep in sync with REPRO_ARRAYNET_ABI_VERSION in kernel.c
+_ABI_VERSION = 11  # keep in sync with REPRO_ARRAYNET_ABI_VERSION in kernel.c
 _KERNEL_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "kernel.c")
 _COMPILERS = ("cc", "gcc", "clang")
 
@@ -259,6 +259,15 @@ def _load() -> ctypes.CDLL:
         ctypes.POINTER(CState),
         ctypes.c_int64,
         ctypes.c_int64,
+    ]
+    # batched entry point: one call advances n independent runs one
+    # cycle (run-major; bit-identical per run to repro_step_cycle)
+    lib.repro_step_batch.restype = ctypes.c_int64
+    lib.repro_step_batch.argtypes = [
+        ctypes.POINTER(ctypes.POINTER(CState)),
+        ctypes.c_int64,
+        ctypes.c_int64,
+        ctypes.POINTER(ctypes.c_int64),
     ]
     return lib
 

@@ -62,6 +62,13 @@ class SimParams:
     # where fast/legacy genuinely differ numerically and the engine is
     # part of the ModelSpec identity
     engine: str = "wheel"  # repro: identity-neutral
+    # batched-execution scheduling hint (repro.perf.BatchPlanner):
+    # 0 = planner default, 1 = never batch this run, N > 1 = cap the
+    # batch this run joins at N.  Pure scheduling -- a batched run is
+    # bit-identical to its single-run result (pinned by the batch parity
+    # suite), so like ``engine`` the knob is identity-neutral: it never
+    # reaches spec fingerprints or cache keys
+    batch: int = 0  # repro: identity-neutral
 
     # --- measurement (paper: 3 x 10000 warmup + 10000 measurement) ---
     warmup_windows: int = 3
@@ -92,20 +99,26 @@ class SimParams:
             )
         if self.engine not in ("wheel", "array", "legacy"):
             raise ValueError("engine must be 'wheel', 'array' or 'legacy'")
+        if self.batch < 0:
+            raise ValueError("batch must be >= 0 (0 = planner default)")
 
     def identity_dict(self) -> Dict[str, Any]:
         """The fields that define this configuration's *identity*.
 
-        ``dataclasses.asdict`` minus ``obs`` and ``engine``: observability
-        never changes simulation results (asserted by the engine-parity
-        tests), and every cycle engine is bit-identical (asserted by the
-        cross-engine parity suite), so both are excluded from every spec
-        fingerprint and cache key -- traced/untraced runs and runs on any
-        engine of one point all share a single cache entry.
+        ``dataclasses.asdict`` minus ``obs``, ``engine``, and ``batch``:
+        observability never changes simulation results (asserted by the
+        engine-parity tests), every cycle engine is bit-identical
+        (asserted by the cross-engine parity suite), and batched
+        execution is bit-identical to single-run execution (asserted by
+        the batch parity suite), so all three are excluded from every
+        spec fingerprint and cache key -- traced/untraced, any-engine,
+        and batched/unbatched runs of one point all share a single
+        cache entry.
         """
         data = asdict(self)
         data.pop("obs", None)
         data.pop("engine", None)
+        data.pop("batch", None)
         return data
 
     def with_obs(self, obs: Optional[ObsConfig]) -> "SimParams":

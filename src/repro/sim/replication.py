@@ -21,7 +21,6 @@ from typing import (
 import numpy as np
 
 from repro.routing.pathset import PathPolicy
-from repro.sim.engine import simulate
 from repro.sim.params import SimParams
 from repro.sim.stats import SimResult
 from repro.topology.dragonfly import Dragonfly
@@ -98,36 +97,29 @@ def replicate(
         )
     elif pattern_factory is None or load is None:
         raise TypeError("replicate() needs both pattern_factory and load")
-    if executor is not None:
-        from repro.perf.executor import SimTask
+    from repro.perf.executor import SimTask, SweepExecutor
 
-        results: List[SimResult] = executor.run(
-            [
-                SimTask(
-                    topo,
-                    pattern_factory(seed),
-                    load,
-                    routing=routing,
-                    policy=policy,
-                    params=params,
-                    seed=seed,
-                )
-                for seed in seeds
-            ]
+    tasks = [
+        SimTask(
+            topo,
+            pattern_factory(seed),
+            load,
+            routing=routing,
+            policy=policy,
+            params=params,
+            seed=seed,
         )
+        for seed in seeds
+    ]
+    if executor is not None:
+        results: List[SimResult] = executor.run(tasks)
     else:
-        results = [
-            simulate(
-                topo,
-                pattern_factory(seed),
-                load,
-                routing=routing,
-                policy=policy,
-                params=params,
-                seed=seed,
-            )
-            for seed in seeds
-        ]
+        # transient in-process executor: no pool, no cache, but the runs
+        # route through the BatchPlanner, so compatible seeds advance in
+        # one batched engine (bit-identical to the per-seed simulate()
+        # loop this path used to be)
+        with SweepExecutor(jobs=1) as transient:
+            results = transient.run(tasks)
     finite = [r for r in results if np.isfinite(r.avg_latency)]
     return {
         "latency": _aggregate([r.avg_latency for r in finite] or [np.inf]),

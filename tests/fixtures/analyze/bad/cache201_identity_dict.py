@@ -12,6 +12,9 @@ class Params:
     obs: Optional[object] = None
     # marked neutral but never popped: leaks into cache keys
     trace_dir: Optional[str] = None  # repro: identity-neutral
+    # batch-scheduling knob leaking the same way: two runs of one spec
+    # executed at different batch sizes would stop sharing a cache entry
+    batch: int = 0  # repro: identity-neutral
 
     def identity_dict(self) -> dict:
         data = asdict(self)

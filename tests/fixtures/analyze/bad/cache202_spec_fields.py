@@ -11,9 +11,16 @@ class RunSpec:
     pattern: str = "ur"
     # never serialized: invisible to fingerprint() and cache keys
     load: float = 0.5
+    # the inverse leak: a batch-scheduling field declared neutral but
+    # serialized anyway, splitting one run's cache entry per batch size
+    batch: int = 0  # repro: identity-neutral
 
     def to_dict(self) -> dict:
-        return {"topology": self.topology, "pattern": self.pattern}
+        return {
+            "topology": self.topology,
+            "pattern": self.pattern,
+            "batch": self.batch,
+        }
 
     def fingerprint(self) -> str:
         blob = json.dumps(self.to_dict(), sort_keys=True)

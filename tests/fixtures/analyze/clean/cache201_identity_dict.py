@@ -9,8 +9,10 @@ class Params:
     load: float = 0.5
     seed: int = 0
     obs: Optional[object] = None  # repro: identity-neutral
+    batch: int = 0  # repro: identity-neutral
 
     def identity_dict(self) -> dict:
         data = asdict(self)
         data.pop("obs")
+        data.pop("batch")
         return data

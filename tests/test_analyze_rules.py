@@ -49,9 +49,9 @@ CASES = [
      "clean/det104_wallclock.py"),
     ("DET105", "bad/det105_builtin_hash.py", 1,
      "clean/det105_builtin_hash.py"),
-    ("CACHE201", "bad/cache201_identity_dict.py", 2,
+    ("CACHE201", "bad/cache201_identity_dict.py", 3,
      "clean/cache201_identity_dict.py"),
-    ("CACHE202", "bad/cache202_spec_fields.py", 1,
+    ("CACHE202", "bad/cache202_spec_fields.py", 2,
      "clean/cache202_spec_fields.py"),
     ("REG302", "bad/reg302_codec.py", 1, "clean/reg302_codec.py"),
     ("REG303", "bad/reg303_topology.py", 1, "clean/reg303_topology.py"),
