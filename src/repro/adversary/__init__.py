@@ -1,0 +1,49 @@
+"""Adversarial traffic-pattern discovery (``repro adversary``).
+
+The paper trains Algorithm 1 against two hand-constructed suites
+(Section 3.3.1: TYPE_1 shifts and TYPE_2 group/switch permutations).
+This package *searches* for stronger adversaries instead of assuming
+them: pluggable strategies (:data:`SEARCH_REGISTRY`) propose candidate
+destination maps, a MIN-only LP scores each candidate's modeled
+throughput (lower = more adversarial) through the shared
+:class:`~repro.perf.executor.SweepExecutor` batch/cache machinery, and
+the winner ships as a first-class
+:class:`~repro.traffic.patterns.DiscoveredPermutation` spec -- usable
+anywhere a ``--pattern`` is, and feedable back into Algorithm 1 via
+``compute_tvlb(extra_adversaries=...)``.
+
+Entry points:
+
+* :func:`run_search` -- the whole pipeline; returns an
+  :class:`AdversaryReport` with provenance and the ranked comparison
+  against the topology's own ``adversary_suite``.
+* :data:`SEARCH_REGISTRY` -- strategy registration (``greedy``,
+  ``hillclimb``); new strategies register a
+  :class:`~repro.spec.registry.RegistryEntry` here.
+
+Everything is seed-deterministic: same topology, strategy, budget and
+seed give bit-identical reports across processes and
+``PYTHONHASHSEED`` values.
+"""
+
+from repro.adversary.report import AdversaryReport
+from repro.adversary.search import (
+    SEARCH_REGISTRY,
+    GreedyMatching,
+    HillClimb,
+    SearchOutcome,
+    greedy_dest_map,
+    run_search,
+    score_dest_maps,
+)
+
+__all__ = [
+    "SEARCH_REGISTRY",
+    "AdversaryReport",
+    "GreedyMatching",
+    "HillClimb",
+    "SearchOutcome",
+    "greedy_dest_map",
+    "run_search",
+    "score_dest_maps",
+]

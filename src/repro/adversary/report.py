@@ -1,0 +1,129 @@
+"""The :class:`AdversaryReport`: one search run, fully reproducible.
+
+The report separates two identities on purpose:
+
+* the **pattern** is content-addressed -- its spec is the destination
+  map alone (:class:`~repro.traffic.patterns.DiscoveredPermutation`),
+  so equal maps share one fingerprint and one cache entry no matter
+  which search found them;
+* the **provenance** (strategy, budget, seed, suite comparison, the
+  improvement trace, a :class:`~repro.obs.manifest.RunManifest`) lives
+  here, in the report, and never leaks into pattern identity.
+
+``to_dict`` output is what ``repro adversary --out`` writes; the
+``kind``/``args`` top level makes the file directly loadable as a
+pattern spec (``--pattern @file.json``) while the extra keys are
+ignored by the spec parser.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.obs.manifest import RunManifest
+
+__all__ = ["AdversaryReport"]
+
+
+@dataclass
+class AdversaryReport:
+    """Everything one :func:`repro.adversary.run_search` call produced."""
+
+    topology: str  # display label, e.g. "dfly(p=4, a=8, h=4, g=9)"
+    topology_spec: Dict[str, Any]  # TopologySpec.to_dict()
+    strategy: str  # registry kind, e.g. "hillclimb"
+    strategy_args: Dict[str, Any]  # its canonical args
+    budget: int
+    seed: int
+    candidates_scored: int  # search candidates (suite pre-scoring excluded)
+    best_score: float  # MIN-only modeled throughput (lower = stronger)
+    kind: str  # pattern spec kind ("discovered")
+    args: Dict[str, Any]  # pattern spec args ({"dest": [...]})
+    pattern_label: str  # e.g. "discovered(1a2b3c4d)"
+    pattern_fingerprint: str  # PatternSpec fingerprint of the winner
+    # the topology's own adversary_suite, scored with the same objective:
+    # [{"label", "score", "family": "type1"|"type2"}], suite order
+    suite: List[Dict[str, Any]] = field(default_factory=list)
+    # winner + suite merged, ascending score (strongest adversary first)
+    ranked: List[Dict[str, Any]] = field(default_factory=list)
+    # improvement events: [{"scored": n, "score": s}]
+    trace: List[Dict[str, float]] = field(default_factory=list)
+    cache_hits: int = 0  # executor cache hits during this search
+    manifest: RunManifest = field(default_factory=RunManifest)
+
+    # ------------------------------------------------------------------
+    def gap_vs_suite(self) -> float:
+        """Best suite score minus the winner's score (>= 0 means the
+        search matched or beat the paper's strongest adversary)."""
+        if not self.suite:
+            return 0.0
+        return min(row["score"] for row in self.suite) - self.best_score
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "kind": self.kind,
+            "args": self.args,
+            "topology": self.topology,
+            "topology_spec": self.topology_spec,
+            "strategy": self.strategy,
+            "strategy_args": self.strategy_args,
+            "budget": self.budget,
+            "seed": self.seed,
+            "candidates_scored": self.candidates_scored,
+            "best_score": self.best_score,
+            "pattern_label": self.pattern_label,
+            "pattern_fingerprint": self.pattern_fingerprint,
+            "suite": self.suite,
+            "ranked": self.ranked,
+            "trace": self.trace,
+            "cache_hits": self.cache_hits,
+            "manifest": self.manifest.to_dict(),
+        }
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AdversaryReport":
+        return cls(
+            topology=data["topology"],
+            topology_spec=dict(data["topology_spec"]),
+            strategy=data["strategy"],
+            strategy_args=dict(data["strategy_args"]),
+            budget=int(data["budget"]),
+            seed=int(data["seed"]),
+            candidates_scored=int(data["candidates_scored"]),
+            best_score=float(data["best_score"]),
+            kind=data["kind"],
+            args=dict(data["args"]),
+            pattern_label=data["pattern_label"],
+            pattern_fingerprint=data["pattern_fingerprint"],
+            suite=list(data.get("suite", [])),
+            ranked=list(data.get("ranked", [])),
+            trace=list(data.get("trace", [])),
+            cache_hits=int(data.get("cache_hits", 0)),
+            manifest=RunManifest.from_dict(data.get("manifest", {})),
+        )
+
+    def to_text(self) -> str:
+        """The CLI's ranked-comparison rendering."""
+        lines = [
+            f"{self.topology} adversary search "
+            f"[{self.strategy}, budget={self.budget}, seed={self.seed}]",
+            f"  candidates scored : {self.candidates_scored} "
+            f"({self.cache_hits} cache hits)",
+            f"  best pattern      : {self.pattern_label} "
+            f"(MIN-only throughput {self.best_score:.4f})",
+            f"  gap vs suite best : {self.gap_vs_suite():+.4f}",
+            "  ranked (strongest adversary first):",
+        ]
+        for row in self.ranked:
+            marker = "*" if row.get("family") == "discovered" else " "
+            lines.append(
+                f"  {marker} {row['label']:28s} "
+                f"[{row['family']:10s}] score={row['score']:.4f}"
+            )
+        return "\n".join(lines)

@@ -11,6 +11,9 @@ Commands:
 * ``sim``    -- one simulation run at a fixed load
 * ``sweep``  -- a latency-vs-load ladder (``--jobs N`` fans the points
   out over worker processes; ``--cache`` reuses on-disk results)
+* ``adversary`` -- search for worst-case traffic patterns beyond the
+  paper's suites (``repro.adversary``); ``--out file.json`` saves the
+  winner as a pattern spec usable via ``--pattern @file.json``
 * ``tvlb``   -- run Algorithm 1 and print the chosen T-VLB
 * ``verify`` -- static deadlock-freedom certification + path-set lint
 * ``analyze`` -- AST static analysis of the repro tree itself:
@@ -38,7 +41,8 @@ topology    ``--topology P,A,H,G`` (e.g. ``4,8,4,9``) |
             ``full-mesh:N[,P]``
 pattern     ``ur`` | ``shift:DG[,DS]`` | ``perm[:SEED]`` |
             ``type2[:SEED]`` | ``mixed:UR,ADV[,SEED]`` |
-            ``tmixed:UR,ADV[,SEED]``
+            ``tmixed:UR,ADV[,SEED]`` |
+            ``@file.json`` (a pattern saved by ``adversary --out``)
 policy      ``all`` | ``hopclass:L[,FRAC]`` | ``strategic:2+3|3+2`` |
             ``@file.json`` (a policy saved by ``tvlb --save``)
 routing     ``min`` | ``vlb`` | ``ugal-l`` | ``ugal-g`` | ``par``, plus
@@ -353,6 +357,41 @@ def _cmd_bench(args) -> int:
     return bench_main(argv)
 
 
+def _cmd_adversary(args) -> int:
+    from repro.adversary import run_search
+    from repro.obs import ProgressReporter
+
+    topo = parse_topology(args.topology, args.arrangement)
+    progress = (
+        ProgressReporter(label="adversary") if args.progress else None
+    )
+    with _make_executor(args, progress=progress) as executor:
+        try:
+            report = run_search(
+                topo,
+                strategy=args.strategy,
+                budget=args.budget,
+                seed=args.seed,
+                executor=executor,
+                num_type1=(
+                    None if args.num_type1 <= 0 else args.num_type1
+                ),
+                num_type2=args.num_type2,
+                max_descriptors=args.max_descriptors,
+            )
+        except SpecError as exc:
+            raise SystemExit(str(exc)) from None
+    print(report.to_json() if args.json else report.to_text())
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report.to_json())
+        print(
+            f"[saved report to {args.out}; reuse the pattern anywhere "
+            f"with --pattern @{args.out}]"
+        )
+    return 0
+
+
 def _cmd_tvlb(args) -> int:
     from repro.core import compute_tvlb
     from repro.routing.serialization import save_policy
@@ -608,6 +647,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "engine, 'legacy' the seed-faithful oracle)")
     _exec_args(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "adversary", help="search for worst-case traffic patterns"
+    )
+    topo_args(p)
+    p.add_argument("--strategy", default="hillclimb",
+                   help="search strategy: greedy | hillclimb[:BATCH] "
+                        "(default hillclimb)")
+    p.add_argument("--budget", type=int, default=32,
+                   help="candidate destination maps to score (default 32)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--num-type1", type=int, default=6,
+                   help="TYPE_1 suite patterns to pre-score as the "
+                        "baseline pool (<= 0: the whole suite; default 6)")
+    p.add_argument("--num-type2", type=int, default=4,
+                   help="TYPE_2 suite seeds in the baseline pool "
+                        "(default 4)")
+    p.add_argument("--max-descriptors", type=int, default=2000)
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the report JSON here; the file doubles as "
+                        "a pattern spec (--pattern @FILE)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report JSON instead of the "
+                        "ranked table")
+    p.add_argument("--progress", action="store_true",
+                   help="heartbeat/ETA lines on stderr while candidate "
+                        "batches run")
+    _exec_args(p)
+    p.set_defaults(func=_cmd_adversary)
 
     p = sub.add_parser("tvlb", help="run Algorithm 1")
     topo_args(p)

@@ -45,6 +45,7 @@ from repro.traffic.patterns import Shift
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.perf.executor import SweepExecutor
+    from repro.traffic.patterns import TrafficPattern
     from repro.verify.report import VerifyReport
 
 __all__ = [
@@ -228,6 +229,7 @@ def compute_tvlb(
     datapoints: Optional[Sequence[PathPolicy]] = None,
     executor: Optional["SweepExecutor"] = None,
     model_engine: Optional[str] = None,
+    extra_adversaries: Optional[Sequence["TrafficPattern"]] = None,
 ) -> TvlbResult:
     """Run Algorithm 1 and return the T-VLB policy for ``topo``.
 
@@ -256,18 +258,26 @@ def compute_tvlb(
     fraction ladder on full meshes), ``baseline_policy`` the
     always-competing conventional set, and ``deadlock_vc_scheme`` the VC
     scheme the final verification certifies under.
+
+    ``extra_adversaries`` appends further patterns (e.g. discovered by
+    ``repro.adversary`` search) to the Step-1 training suite; the
+    suite itself comes from the topology's ``adversary_suite`` hook.
     """
     rng = np.random.default_rng(seed)
     if model_engine is None:
         model_engine = getattr(topo, "default_model_engine", "fast")
 
-    # ---- adversarial suites (Section 3.3.1) ----
-    t1 = type_1_set(topo)
+    # ---- adversarial suites (Section 3.3.1, via the topology hook) ----
+    suite = getattr(topo, "adversary_suite", None)
+    if suite is not None:
+        t1, t2 = suite(num_type2=num_type2, seed=seed)
+    else:  # bare protocol stand-ins in tests
+        t1 = list(type_1_set(topo))
+        t2 = list(type_2_set(topo, count=num_type2, seed=seed))
     if num_type1 is not None and num_type1 < len(t1):
         idx = rng.choice(len(t1), size=num_type1, replace=False)
         t1 = [t1[i] for i in sorted(idx)]
-    t2 = type_2_set(topo, count=num_type2, seed=seed)
-    patterns = t1 + t2
+    patterns = t1 + t2 + list(extra_adversaries or [])
 
     # ---- Step 1: coarse-grain model sweep over the candidate grid ----
     # (the topology's `tvlb_datapoints` hook: Table 1 on dragonflies;

@@ -24,6 +24,10 @@ The benchmark families:
   assembly and by the factored fast path
   (:class:`~repro.model.fastpath.FastModel`), cold and warm, asserting
   per-datapoint throughputs agree to 1e-9.
+* **Adversary microbenchmark** -- a budget-8 ``repro.adversary`` search
+  run cold and warm through one on-disk cache: candidates/second, the
+  warm-cache hit rate, and the ``within_type1`` usefulness gate (the
+  discovered pattern must score at or below the best TYPE_1 shift).
 
 ``python -m repro bench`` (or ``python -m repro.perf.bench``) writes the
 JSON trajectory record; see ``docs/performance.md`` for how to read it.
@@ -55,6 +59,7 @@ __all__ = [
     "LegacyNetwork",
     "LegacyRouter",
     "LegacySimChannel",
+    "bench_adversary",
     "bench_array",
     "bench_batch",
     "bench_engine",
@@ -800,6 +805,96 @@ def bench_model(
     }
 
 
+def bench_adversary(
+    topo: Optional[Dragonfly] = None,
+    *,
+    strategy: str = "hillclimb",
+    budget: int = 8,
+    num_type1: int = 6,
+    num_type2: int = 4,
+    seed: int = 0,
+    cache_dir: Optional[str] = None,
+) -> Dict:
+    """Adversary-search throughput: candidates/second, cold vs warm cache.
+
+    Runs the identical budget-``budget`` :func:`repro.adversary.run_search`
+    twice through one on-disk :class:`SimCache` (a temp dir unless
+    ``cache_dir`` is given): the cold pass computes every MIN-only LP
+    solve, the warm pass must serve them from cache.  The record gates
+    two contracts the CI bench smoke asserts:
+
+    * ``identical_results`` -- the warm search finds the same pattern
+      with the same score and ranking (the cache is identity-neutral to
+      the search);
+    * ``within_type1`` -- the discovered pattern's modeled throughput is
+      at or below the best scored TYPE_1 shift (the subsystem's basic
+      usefulness contract: searching never does worse than the paper's
+      hand-built adversaries).
+    """
+    import tempfile
+
+    from repro.adversary import run_search
+
+    topo = topo if topo is not None else default_dragonfly()
+    tmp = None
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-bench-adv-")
+        cache_dir = tmp.name
+    try:
+        reports = []
+        timings = []
+        for _ in range(2):
+            cache = SimCache(cache_dir)
+            with SweepExecutor(jobs=1, cache=cache) as executor:
+                start = time.perf_counter()
+                report = run_search(
+                    topo,
+                    strategy=strategy,
+                    budget=budget,
+                    seed=seed,
+                    executor=executor,
+                    num_type1=num_type1,
+                    num_type2=num_type2,
+                )
+                timings.append(time.perf_counter() - start)
+            reports.append(report)
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    cold, warm = reports
+    cold_s, warm_s = timings
+
+    # everything scored, suite pre-pass included: what the wall clock saw
+    total = cold.candidates_scored + len(cold.suite)
+    best_t1 = min(
+        row["score"] for row in cold.suite if row["family"] == "type1"
+    )
+    identical = (
+        cold.pattern_fingerprint == warm.pattern_fingerprint
+        and cold.best_score == warm.best_score
+        and cold.ranked == warm.ranked
+    )
+    return {
+        "topology": str(topo),
+        "strategy": strategy,
+        "budget": budget,
+        "suite_size": len(cold.suite),
+        "candidates_total": total,
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "cold_candidates_per_sec": total / cold_s,
+        "warm_candidates_per_sec": total / warm_s,
+        "warm_speedup": cold_s / warm_s,
+        # duplicate maps dedup inside a batch, so hits can undershoot
+        # total; a healthy warm pass still sits near 1.0
+        "warm_hit_rate": warm.cache_hits / total,
+        "best_score": cold.best_score,
+        "best_type1_score": best_t1,
+        "within_type1": bool(cold.best_score <= best_t1 + 1e-9),
+        "identical_results": identical,
+    }
+
+
 def run_benchmarks(
     *,
     topology: str = "4,8,4,9",
@@ -860,6 +955,12 @@ def run_benchmarks(
             num_datapoints=model_datapoints,
             num_patterns=model_patterns,
             cache_dir=cache_dir,
+        ),
+        "adversary_microbench": bench_adversary(
+            topo,
+            budget=8,
+            num_type1=3 if quick else 6,
+            num_type2=2 if quick else 4,
         ),
     }
     return record
@@ -948,6 +1049,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if mdl["cached_seconds"] is not None:
         print(f"  warm cache: {mdl['cached_seconds']:.3f}s "
               f"({mdl['cached_speedup']:.0f}x)")
+    adv = record["adversary_microbench"]
+    print(f"adversary ({adv['strategy']}, budget={adv['budget']}): "
+          f"{adv['cold_candidates_per_sec']:.1f} cand/s cold, "
+          f"{adv['warm_candidates_per_sec']:.1f} warm "
+          f"(hit rate {adv['warm_hit_rate']:.2f}, "
+          f"within_type1={adv['within_type1']}, "
+          f"identical={adv['identical_results']})")
     print(f"[saved {args.out}]")
     return 0
 

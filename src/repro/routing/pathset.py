@@ -241,6 +241,8 @@ class HopClassPolicy(PathPolicy):
     ``extra_fraction`` of the ``full_hops + 1`` class (a Table-1 datapoint).
 
     ``full_hops=6`` (or 5 with fraction 1.0 etc.) degenerates to all VLB.
+    ``full_hops=0`` with ``extra_fraction=0.0`` admits no VLB path at all:
+    the MIN-only policy (the ``repro.adversary`` scoring objective).
     """
 
     full_hops: int
@@ -249,9 +251,10 @@ class HopClassPolicy(PathPolicy):
 
     def __post_init__(self) -> None:
         # fully connected groups top out at 6 hops; Cascade-style 2D
-        # all-to-all groups at 10 -- allow the full family
-        if not 2 <= self.full_hops <= 12:
-            raise ValueError("full_hops must be in 2..12")
+        # all-to-all groups at 10.  0 is the degenerate MIN-only policy;
+        # 1 stays invalid (no VLB path has fewer than 2 hops)
+        if self.full_hops != 0 and not 2 <= self.full_hops <= 12:
+            raise ValueError("full_hops must be 0 (MIN only) or in 2..12")
         if not 0.0 <= self.extra_fraction <= 1.0:
             raise ValueError("extra_fraction must be in [0, 1]")
 
@@ -265,6 +268,8 @@ class HopClassPolicy(PathPolicy):
         return False
 
     def describe(self) -> str:
+        if self.full_hops == 0 and self.extra_fraction == 0.0:
+            return "MIN only"
         if self.full_hops >= 6 or (
             self.full_hops == 5 and self.extra_fraction >= 1.0
         ):

@@ -47,6 +47,7 @@ from repro.topology.dragonfly import Dragonfly
 from repro.topology.fullmesh import FullMesh
 from repro.traffic.mixed import Mixed, TimeMixed
 from repro.traffic.patterns import (
+    DiscoveredPermutation,
     GroupSwitchPermutation,
     RandomPermutation,
     Shift,
@@ -180,6 +181,16 @@ TRAFFIC_REGISTRY.register(RegistryEntry(
     cls=GroupSwitchPermutation,
     help="type2[:SEED]",
     example="type2:3",
+))
+TRAFFIC_REGISTRY.register(RegistryEntry(
+    # dict-only kind (like the "excluding"/"explicit" policies): found
+    # adversaries are saved as JSON specs by `repro adversary --out` and
+    # loaded back with `--pattern @file.json`; identity is the dest map
+    kind="discovered",
+    build=lambda args, topo: DiscoveredPermutation(topo, args["dest"]),
+    to_dict=lambda p: {"dest": [int(d) for d in p.dest_map]},
+    cls=DiscoveredPermutation,
+    help="@file.json (a pattern saved by 'adversary --out')",
 ))
 TRAFFIC_REGISTRY.register(RegistryEntry(
     kind="mixed",

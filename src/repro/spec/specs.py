@@ -80,7 +80,31 @@ class PatternSpec:
 
     @classmethod
     def parse(cls, spec: str) -> "PatternSpec":
-        """From a mini-language string, e.g. ``shift:2,0`` or ``perm:7``."""
+        """From a mini-language string (``shift:2,0``) or ``@file.json``.
+
+        ``@file.json`` (e.g. a pattern saved by ``adversary --out``) is
+        read immediately and its *content* embedded in the spec, so the
+        spec stays self-contained (and cacheable) even if the file
+        changes.  The file carries ``kind`` plus either an ``args`` dict
+        or the argument fields inline; extra top-level keys (report,
+        manifest) are ignored when ``args`` is present.
+        """
+        if spec.startswith("@"):
+            try:
+                with open(spec[1:]) as fh:
+                    data = json.load(fh)
+            except (OSError, ValueError) as exc:
+                raise SpecError(
+                    f"cannot read pattern file {spec[1:]!r}: {exc}"
+                ) from exc
+            if not isinstance(data, dict) or "kind" not in data:
+                raise SpecError(
+                    f"pattern file {spec[1:]!r} has no 'kind' field"
+                )
+            args = data.get("args")
+            if not isinstance(args, dict):
+                args = {k: v for k, v in data.items() if k != "kind"}
+            return cls.from_dict({"kind": data["kind"], "args": args})
         kind, args = TRAFFIC_REGISTRY.parse(spec)
         return cls(kind, canonical_json(args))
 

@@ -5,9 +5,9 @@ model (:mod:`repro.model`), the simulator (:mod:`repro.sim`), static
 verification (:mod:`repro.verify`) and Algorithm 1 (:mod:`repro.core`) --
 talks to topologies exclusively through this surface: flat switch/node
 identifiers, group structure, the ``local_*`` intra-group hooks, the global
-link tables, and the four *policy hooks* that make Algorithm 1
+link tables, and the five *policy hooks* that make Algorithm 1
 topology-custom (candidate grid, deadlock-certification VC scheme,
-preferred model engine, baseline policy).
+preferred model engine, baseline policy, adversarial suite).
 
 :class:`~repro.topology.dragonfly.Dragonfly` is the canonical
 implementation; :class:`~repro.topology.cascade.CascadeDragonfly` varies
@@ -28,12 +28,14 @@ from typing import (
     List,
     Optional,
     Protocol,
+    Tuple,
     runtime_checkable,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.routing.pathset import PathPolicy
     from repro.topology.dragonfly import GlobalLink
+    from repro.traffic.patterns import TrafficPattern
 
 __all__ = ["Topology"]
 
@@ -107,6 +109,10 @@ class Topology(Protocol):
     ) -> List["PathPolicy"]: ...
 
     def baseline_policy(self) -> Optional["PathPolicy"]: ...
+
+    def adversary_suite(
+        self, *, num_type2: int = 20, seed: int = 0
+    ) -> Tuple[List["TrafficPattern"], List["TrafficPattern"]]: ...
 
     # --- reporting ---
     def describe(self) -> Dict[str, int]: ...

@@ -27,6 +27,7 @@ from repro.topology.arrangements import ARRANGEMENTS, GlobalLinkSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.routing.pathset import PathPolicy
+    from repro.traffic.patterns import TrafficPattern
 
 __all__ = ["Dragonfly", "GlobalLink"]
 
@@ -274,6 +275,25 @@ class Dragonfly:
         from repro.routing.pathset import AllVlbPolicy
 
         return AllVlbPolicy()
+
+    def adversary_suite(
+        self, *, num_type2: int = 20, seed: int = 0
+    ) -> Tuple[List["TrafficPattern"], List["TrafficPattern"]]:
+        """The adversarial pattern suites Algorithm 1 trains against.
+
+        Dragonflies use the paper's Section-3.3.1 suites verbatim: every
+        combined group/switch shift (TYPE_1) and ``num_type2`` seeded
+        group+switch permutations (TYPE_2).  Topologies with a different
+        worst-case structure override this with their own suites;
+        ``repro.adversary`` *searches* beyond whatever this hook returns.
+        """
+        # lazy import: repro.traffic sits above the topology layer
+        from repro.traffic.adversarial import type_1_set, type_2_set
+
+        return (
+            list(type_1_set(self)),
+            list(type_2_set(self, count=num_type2, seed=seed)),
+        )
 
     # ------------------------------------------------------------------
     # Export

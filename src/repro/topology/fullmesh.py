@@ -21,12 +21,13 @@ certified by ``repro.verify`` under the analysis-only ``"none"`` scheme
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.topology.dragonfly import Dragonfly
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.routing.pathset import PathPolicy
+    from repro.traffic.patterns import TrafficPattern
 
 __all__ = ["FullMesh"]
 
@@ -94,6 +95,31 @@ class FullMesh(Dragonfly):
         largest competing set is the fraction-1.0 ordered policy already
         on the grid."""
         return None
+
+    def adversary_suite(
+        self, *, num_type2: int = 20, seed: int = 0
+    ) -> Tuple[List["TrafficPattern"], List["TrafficPattern"]]:
+        """Native full-mesh suite: switch shifts + seeded derangements.
+
+        The paper's TYPE_1 construction degenerates cleanly here (one
+        switch per group, so a group shift *is* a switch shift): each
+        ``shift(d, 0)`` saturates the single direct link of every
+        ``(s, s+d)`` switch pair, the full mesh's worst case under MIN.
+        The TYPE_2 axis keeps the seeded switch-level derangement family,
+        built through the registry so the seeds stay spec-visible.
+        """
+        # lazy import: repro.traffic/repro.spec sit above topology
+        from repro.spec import PatternSpec
+        from repro.traffic.patterns import Shift
+
+        shifts: List["TrafficPattern"] = [
+            Shift(self, d, 0) for d in range(1, self.n)
+        ]
+        perms: List["TrafficPattern"] = [
+            PatternSpec.make("type2", seed=seed + i).build(self)
+            for i in range(num_type2)
+        ]
+        return shifts, perms
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"full-mesh(n={self.n}, p={self.p})"

@@ -22,11 +22,13 @@ destination of ``-1`` (``NO_TRAFFIC``) means "this node does not inject".
 
 from repro.traffic.patterns import (
     NO_TRAFFIC,
+    DiscoveredPermutation,
     GroupSwitchPermutation,
     RandomPermutation,
     Shift,
     TrafficPattern,
     UniformRandom,
+    permutation_matrix,
 )
 from repro.traffic.mixed import Mixed, TimeMixed
 from repro.traffic.adversarial import type_1_set, type_2_set
@@ -44,6 +46,8 @@ __all__ = [
     "Shift",
     "RandomPermutation",
     "GroupSwitchPermutation",
+    "DiscoveredPermutation",
+    "permutation_matrix",
     "Mixed",
     "TimeMixed",
     "type_1_set",

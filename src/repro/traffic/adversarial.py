@@ -5,19 +5,25 @@
 
 ``TYPE_2_SET``: random group-level permutations refined by per-group
 switch-level permutations (20 patterns in the paper).
+
+These constructors take any :class:`~repro.topology.base.Topology` --
+suite *selection* is per-topology via the ``Topology.adversary_suite``
+protocol hook (dragonflies return exactly these two sets; a full mesh
+substitutes its native switch-level suites), and ``repro.adversary``
+searches beyond both.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from repro.topology.dragonfly import Dragonfly
+from repro.topology.base import Topology
 from repro.traffic.patterns import GroupSwitchPermutation, Shift
 
 __all__ = ["type_1_set", "type_2_set"]
 
 
-def type_1_set(topo: Dragonfly) -> List[Shift]:
+def type_1_set(topo: Topology) -> List[Shift]:
     """All ``shift(dg, ds)`` patterns: ``(g-1) * a`` of them."""
     return [
         Shift(topo, dg, ds)
@@ -27,7 +33,7 @@ def type_1_set(topo: Dragonfly) -> List[Shift]:
 
 
 def type_2_set(
-    topo: Dragonfly, count: int = 20, seed: int = 0
+    topo: Topology, count: int = 20, seed: int = 0
 ) -> List[GroupSwitchPermutation]:
     """``count`` random group+switch permutation patterns (paper: 20)."""
     return [

@@ -12,10 +12,12 @@ methods are:
 from __future__ import annotations
 
 import abc
+import hashlib
 
 import numpy as np
+from numpy.typing import ArrayLike
 
-from repro.topology.dragonfly import Dragonfly
+from repro.topology.base import Topology
 
 __all__ = [
     "NO_TRAFFIC",
@@ -24,15 +26,35 @@ __all__ = [
     "Shift",
     "RandomPermutation",
     "GroupSwitchPermutation",
+    "DiscoveredPermutation",
+    "permutation_matrix",
 ]
 
 NO_TRAFFIC = -1  # destination sentinel: the node does not inject
 
 
+def permutation_matrix(topo: Topology, dest: np.ndarray) -> np.ndarray:
+    """Switch-level demand matrix of a fixed node->node destination map.
+
+    ``D[s, d]`` is the number of nodes on switch ``s`` whose destination
+    lives on switch ``d``, per unit injection rate.  :data:`NO_TRAFFIC`
+    entries and fixed points (a node mapped to itself) contribute
+    nothing -- the single audited implementation of that rule, shared by
+    every fixed pattern and by the ``repro.adversary`` search core.
+    """
+    n_sw = topo.num_switches
+    demand = np.zeros((n_sw, n_sw))
+    for node, dst in enumerate(dest):
+        if dst == NO_TRAFFIC or dst == node:
+            continue
+        demand[topo.switch_of_node(node), topo.switch_of_node(int(dst))] += 1.0
+    return demand
+
+
 class TrafficPattern(abc.ABC):
     """Destination distribution for every source compute node."""
 
-    def __init__(self, topo: Dragonfly) -> None:
+    def __init__(self, topo: Topology) -> None:
         self.topo = topo
 
     @abc.abstractmethod
@@ -69,7 +91,7 @@ class TrafficPattern(abc.ABC):
 class _FixedPattern(TrafficPattern):
     """A pattern defined by a fixed node->node destination map."""
 
-    def __init__(self, topo: Dragonfly) -> None:
+    def __init__(self, topo: Topology) -> None:
         super().__init__(topo)
         self._dest = self._build_dest_map()
         if self._dest.shape != (topo.num_nodes,):
@@ -93,14 +115,7 @@ class _FixedPattern(TrafficPattern):
         return float(np.mean(self._dest != NO_TRAFFIC))
 
     def demand_matrix(self) -> np.ndarray:
-        topo = self.topo
-        n_sw = topo.num_switches
-        demand = np.zeros((n_sw, n_sw))
-        for node, dest in enumerate(self._dest):
-            if dest == NO_TRAFFIC or dest == node:
-                continue
-            demand[topo.switch_of_node(node), topo.switch_of_node(dest)] += 1.0
-        return demand
+        return permutation_matrix(self.topo, self._dest)
 
 
 class UniformRandom(TrafficPattern):
@@ -137,7 +152,7 @@ class Shift(_FixedPattern):
     ahead, saturating the direct links between the two groups.
     """
 
-    def __init__(self, topo: Dragonfly, dg: int, ds: int = 0) -> None:
+    def __init__(self, topo: Topology, dg: int, ds: int = 0) -> None:
         if not (0 <= dg < topo.g and 0 <= ds < topo.a):
             raise ValueError(
                 f"shift offsets ({dg},{ds}) out of range for g={topo.g}, "
@@ -171,7 +186,7 @@ class RandomPermutation(_FixedPattern):
     "each node sending to and receiving from at most one destination".
     """
 
-    def __init__(self, topo: Dragonfly, seed: int = 0) -> None:
+    def __init__(self, topo: Topology, seed: int = 0) -> None:
         self.seed = seed
         super().__init__(topo)
 
@@ -195,7 +210,7 @@ class GroupSwitchPermutation(_FixedPattern):
     ``(perm_G(g), perm_g(s), k)``.
     """
 
-    def __init__(self, topo: Dragonfly, seed: int = 0) -> None:
+    def __init__(self, topo: Topology, seed: int = 0) -> None:
         if topo.g < 2:
             raise ValueError("TYPE_2 patterns need at least 2 groups")
         self.seed = seed
@@ -232,3 +247,50 @@ class GroupSwitchPermutation(_FixedPattern):
 
     def describe(self) -> str:
         return f"type2(seed={self.seed})"
+
+
+class DiscoveredPermutation(_FixedPattern):
+    """A fixed destination map found by ``repro.adversary`` search.
+
+    Identity is the destination map itself -- not the strategy, seed, or
+    budget that found it -- so two searches landing on the same map share
+    one spec, one fingerprint, and one cache entry (provenance lives in
+    the :class:`~repro.adversary.report.AdversaryReport` instead).  The
+    map must be a *partial permutation*: every live destination distinct,
+    in range, and not the source.  Self-sends are normalized to
+    :data:`NO_TRAFFIC` at construction so equivalent maps canonicalize
+    to the same spec.
+    """
+
+    def __init__(self, topo: Topology, dest: ArrayLike) -> None:
+        arr = np.asarray(dest, dtype=np.int64).copy()
+        if arr.shape != (topo.num_nodes,):
+            raise ValueError(
+                f"destination map has shape {arr.shape}, expected "
+                f"({topo.num_nodes},)"
+            )
+        if np.any((arr < NO_TRAFFIC) | (arr >= topo.num_nodes)):
+            raise ValueError(
+                "destination entries must be NO_TRAFFIC or a node id in "
+                f"[0, {topo.num_nodes})"
+            )
+        arr[arr == np.arange(topo.num_nodes)] = NO_TRAFFIC
+        live = arr[arr != NO_TRAFFIC]
+        if len(np.unique(live)) != len(live):
+            raise ValueError(
+                "destination map is not a partial permutation: a node "
+                "receives from more than one source"
+            )
+        self._given = arr
+        super().__init__(topo)
+
+    def _build_dest_map(self) -> np.ndarray:
+        return self._given
+
+    def digest(self) -> str:
+        """Short content digest of the destination map (report label)."""
+        blob = ",".join(str(int(d)) for d in self._dest)
+        return hashlib.sha256(blob.encode()).hexdigest()[:8]
+
+    def describe(self) -> str:
+        return f"discovered({self.digest()})"

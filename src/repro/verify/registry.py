@@ -23,7 +23,9 @@ Checks, per registry:
   across the round trip;
 * routing entries build :class:`~repro.sim.strategies.RoutingStrategy`
   instances and their ``accepts_policy`` flags agree with
-  :func:`~repro.spec.resolve_routing`'s T- form gate.
+  :func:`~repro.spec.resolve_routing`'s T- form gate;
+* search-strategy entries (:data:`repro.adversary.SEARCH_REGISTRY`)
+  build their registered class and round-trip through ``to_dict``.
 
 Run as a module -- ``python -m repro.verify.registry`` -- it prints each
 problem and exits non-zero when any check fails.
@@ -213,6 +215,33 @@ def _check_routing(problems: List[str]) -> None:
             )
 
 
+def _check_search(problems: List[str]) -> None:
+    from repro.adversary import SEARCH_REGISTRY
+
+    _check_example(SEARCH_REGISTRY, problems)
+    for entry in SEARCH_REGISTRY:
+        if entry.parse is None or not entry.example:
+            continue
+        where = f"SEARCH_REGISTRY[{entry.kind!r}]"
+        try:
+            kind, args = SEARCH_REGISTRY.parse(entry.example)
+            strategy = SEARCH_REGISTRY.build(kind, args)
+        except Exception as exc:  # noqa: BLE001
+            problems.append(f"{where}: example does not build: {exc}")
+            continue
+        if entry.cls is not None and type(strategy) is not entry.cls:
+            problems.append(
+                f"{where}: example built a {type(strategy).__name__}, "
+                f"registered class is {entry.cls.__name__}"
+            )
+            continue
+        if entry.to_dict is not None and entry.to_dict(strategy) != args:
+            problems.append(
+                f"{where}: build/to_dict round trip changed the args: "
+                f"{args!r} vs {entry.to_dict(strategy)!r}"
+            )
+
+
 def check_registries() -> List[str]:
     """Run every registry consistency check; return the problems found."""
     problems: List[str] = []
@@ -220,6 +249,7 @@ def check_registries() -> List[str]:
     _check_traffic(problems)
     _check_policies(problems)
     _check_routing(problems)
+    _check_search(problems)
     return problems
 
 
@@ -229,6 +259,7 @@ def main() -> int:
         print(f"FAIL: {problem}")
     if problems:
         return 1
+    from repro.adversary import SEARCH_REGISTRY
     from repro.spec import (
         POLICY_REGISTRY,
         ROUTING_REGISTRY,
@@ -241,7 +272,8 @@ def main() -> int:
         f"{len(TOPOLOGY_REGISTRY)} topologies, "
         f"{len(TRAFFIC_REGISTRY)} patterns, "
         f"{len(POLICY_REGISTRY)} policies, "
-        f"{len(ROUTING_REGISTRY)} routing variants"
+        f"{len(ROUTING_REGISTRY)} routing variants, "
+        f"{len(SEARCH_REGISTRY)} search strategies"
     )
     return 0
 

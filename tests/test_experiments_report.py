@@ -48,9 +48,11 @@ class TestRenderCurves:
 
 class TestFigureRegistry:
     def test_all_paper_experiments_registered(self):
-        expected = {"table1", "table2", "table3"} | {
-            f"fig{i:02d}" for i in range(4, 19)
-        }
+        expected = (
+            {"table1", "table2", "table3"}
+            | {f"fig{i:02d}" for i in range(4, 19)}
+            | {"adv_discovered"}
+        )
         assert expected == set(FIGURES)
 
     def test_unknown_figure_raises(self):

@@ -40,12 +40,28 @@ print(json.dumps({
 """
 
 
-def _run_child(hashseed: str) -> dict:
+# adversary search in a fresh interpreter: the hill climb iterates over
+# suite patterns, registry entries, and executor batches -- all channels
+# where a str-hash-ordered set or dict would change which candidate wins
+_SEARCH_CHILD = """
+import json
+from repro.adversary import run_search
+from repro.topology import Dragonfly
+
+report = run_search(
+    Dragonfly(2, 4, 2, 3), strategy="hillclimb:3", budget=5, seed=7,
+    num_type1=2, num_type2=2,
+)
+print(report.to_json(indent=0))
+"""
+
+
+def _run_child(hashseed: str, code: str = _CHILD) -> dict:
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO, "src")
     env["PYTHONHASHSEED"] = hashseed
     proc = subprocess.run(
-        [sys.executable, "-c", _CHILD],
+        [sys.executable, "-c", code],
         capture_output=True, text=True, env=env, cwd=REPO,
     )
     assert proc.returncode == 0, proc.stderr
@@ -59,3 +75,10 @@ def test_results_identical_across_hash_seeds():
     # bit-identical: floats serialized by json.dumps match exactly
     assert a["result"] == b["result"]
     assert a["result"]["packets_measured"] > 0  # ran for real
+
+
+def test_adversary_search_identical_across_hash_seeds():
+    a = _run_child("2", _SEARCH_CHILD)
+    b = _run_child("31337", _SEARCH_CHILD)
+    assert a == b  # full report: winner, scores, ranking, manifest
+    assert a["candidates_scored"] == 5  # the search actually ran
